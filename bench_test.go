@@ -1,0 +1,290 @@
+// Benchmark harness: one benchmark per table/figure in the paper's
+// evaluation, plus ablation benches for the design choices DESIGN.md calls
+// out. Each figure bench builds its figure from a shared full-campaign
+// trace (seed 1) and prints the regenerated rows once, so
+//
+//	go test -bench=. -benchmem
+//
+// emits the complete evaluation alongside the timings.
+package realtracer
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"realtracer/internal/core"
+	"realtracer/internal/figures"
+	"realtracer/internal/netsim"
+	"realtracer/internal/player"
+	"realtracer/internal/stats"
+	"realtracer/internal/trace"
+	"realtracer/internal/transport"
+)
+
+var (
+	studyOnce sync.Once
+	studyRecs []*trace.Record
+	studyErr  error
+)
+
+// campaign runs (once) the full 63-user study whose trace all figure
+// benches share.
+func campaign(b *testing.B) []*trace.Record {
+	b.Helper()
+	studyOnce.Do(func() {
+		res, err := core.RunStudy(core.StudyOptions{Seed: 1})
+		if err != nil {
+			studyErr = err
+			return
+		}
+		studyRecs = res.Records
+	})
+	if studyErr != nil {
+		b.Fatalf("study: %v", studyErr)
+	}
+	return studyRecs
+}
+
+var renderOnce sync.Map
+
+func renderFigure(id string, fig figures.Figure) {
+	if _, loaded := renderOnce.LoadOrStore(id, true); !loaded {
+		fig.Render(os.Stdout)
+	}
+}
+
+func benchFigure(b *testing.B, id string) {
+	recs := campaign(b)
+	g, ok := figures.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	var fig figures.Figure
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = g.Build(recs)
+	}
+	b.StopTimer()
+	renderFigure(id, fig)
+}
+
+// BenchmarkFig01Timeline regenerates Figure 1 (buffering and playout of one
+// clip): each iteration runs a complete simulated 70-second session.
+func BenchmarkFig01Timeline(b *testing.B) {
+	var fig figures.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, _, err = core.Fig01Timeline(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	renderFigure("fig01", fig)
+}
+
+func BenchmarkFig05ClipsPerUser(b *testing.B)            { benchFigure(b, "fig05") }
+func BenchmarkFig06RatedPerUser(b *testing.B)            { benchFigure(b, "fig06") }
+func BenchmarkFig07ByUserCountry(b *testing.B)           { benchFigure(b, "fig07") }
+func BenchmarkFig08ByServerCountry(b *testing.B)         { benchFigure(b, "fig08") }
+func BenchmarkFig09ByUSState(b *testing.B)               { benchFigure(b, "fig09") }
+func BenchmarkFig10Unavailable(b *testing.B)             { benchFigure(b, "fig10") }
+func BenchmarkFig11FrameRateAll(b *testing.B)            { benchFigure(b, "fig11") }
+func BenchmarkFig12FrameRateByAccess(b *testing.B)       { benchFigure(b, "fig12") }
+func BenchmarkFig13BandwidthByAccess(b *testing.B)       { benchFigure(b, "fig13") }
+func BenchmarkFig14FrameRateByServerRegion(b *testing.B) { benchFigure(b, "fig14") }
+func BenchmarkFig15FrameRateByUserRegion(b *testing.B)   { benchFigure(b, "fig15") }
+func BenchmarkFig16ProtocolMix(b *testing.B)             { benchFigure(b, "fig16") }
+func BenchmarkFig17FrameRateByProtocol(b *testing.B)     { benchFigure(b, "fig17") }
+func BenchmarkFig18BandwidthByProtocol(b *testing.B)     { benchFigure(b, "fig18") }
+func BenchmarkFig19FrameRateByPC(b *testing.B)           { benchFigure(b, "fig19") }
+func BenchmarkFig20JitterAll(b *testing.B)               { benchFigure(b, "fig20") }
+func BenchmarkFig21JitterByAccess(b *testing.B)          { benchFigure(b, "fig21") }
+func BenchmarkFig22JitterByServerRegion(b *testing.B)    { benchFigure(b, "fig22") }
+func BenchmarkFig23JitterByUserRegion(b *testing.B)      { benchFigure(b, "fig23") }
+func BenchmarkFig24JitterByProtocol(b *testing.B)        { benchFigure(b, "fig24") }
+func BenchmarkFig25JitterByBandwidth(b *testing.B)       { benchFigure(b, "fig25") }
+func BenchmarkFig26QualityAll(b *testing.B)              { benchFigure(b, "fig26") }
+func BenchmarkFig27QualityByAccess(b *testing.B)         { benchFigure(b, "fig27") }
+func BenchmarkFig28QualityVsBandwidth(b *testing.B)      { benchFigure(b, "fig28") }
+
+// BenchmarkStudyEndToEnd times one complete reduced campaign (12 users, 10
+// clips each) — the macro cost of the whole apparatus.
+func BenchmarkStudyEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunStudy(core.StudyOptions{Seed: int64(i + 2), MaxUsers: 12, ClipCap: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 4) ---
+
+var ablationOnce sync.Map
+
+func ablationPrintf(key, format string, args ...any) {
+	if _, loaded := ablationOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf(format, args...)
+	}
+}
+
+// BenchmarkAblationBuffer sweeps the player's initial buffer depth and
+// reports the jitter CDF shift: the paper credits the "large initial delay
+// buffer" for the smooth playouts of Figure 20.
+func BenchmarkAblationBuffer(b *testing.B) {
+	prerolls := []time.Duration{time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second}
+	for i := 0; i < b.N; i++ {
+		for _, preroll := range prerolls {
+			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, Preroll: preroll})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jit := trace.Values(trace.Played(res.Records), func(r *trace.Record) float64 { return r.JitterMs })
+			c, _ := stats.NewCDF(jit)
+			ablationPrintf(fmt.Sprintf("buffer-%v", preroll),
+				"ablation buffer preroll=%-4v jitter<=50ms %.0f%%  jitter>=300ms %.0f%%\n",
+				preroll, 100*c.At(50), 100*c.FractionAtLeast(300))
+		}
+	}
+}
+
+// BenchmarkAblationRateControl compares UDP rate controllers: TFRC vs AIMD
+// vs unresponsive — Figure 18's "responsive but maybe not strictly
+// TCP-friendly" observation, plus the [FF98] strawman.
+func BenchmarkAblationRateControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ctrl := range []string{"tfrc", "aimd", "unresponsive"} {
+			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, Controller: ctrl})
+			if err != nil {
+				b.Fatal(err)
+			}
+			udp := trace.Filter(trace.Played(res.Records), func(r *trace.Record) bool { return r.Protocol == "UDP" })
+			kbps := trace.Values(udp, func(r *trace.Record) float64 { return r.MeasuredKbps })
+			lost := 0
+			for _, r := range udp {
+				lost += r.FramesLost
+			}
+			ablationPrintf("rc-"+ctrl,
+				"ablation ratecontrol %-13s udp sessions=%d mean %.0f Kbps, packets lost=%d\n",
+				ctrl, len(udp), stats.Mean(kbps), lost)
+		}
+	}
+}
+
+// BenchmarkAblationSureStream toggles mid-playout stream switching.
+func BenchmarkAblationSureStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, disable := range []bool{false, true} {
+			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, DisableSureStream: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			played := trace.Played(res.Records)
+			fps := trace.Values(played, func(r *trace.Record) float64 { return r.MeasuredFPS })
+			c, _ := stats.NewCDF(fps)
+			label := "on"
+			if disable {
+				label = "off"
+			}
+			ablationPrintf("ss-"+label,
+				"ablation surestream=%-3s below 3 fps %.0f%%  mean %.1f fps\n",
+				label, 100*c.FractionBelow(3), stats.Mean(fps))
+		}
+	}
+}
+
+// BenchmarkAblationFEC toggles repair packets under a lossy path.
+func BenchmarkAblationFEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, disable := range []bool{false, true} {
+			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, DisableFEC: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			udp := trace.Filter(trace.Played(res.Records), func(r *trace.Record) bool { return r.Protocol == "UDP" })
+			var corrupted, lost int
+			for _, r := range udp {
+				corrupted += r.FramesCorrupted
+				lost += r.FramesLost
+			}
+			label := "on"
+			if disable {
+				label = "off"
+			}
+			ablationPrintf("fec-"+label,
+				"ablation fec=%-3s udp frames corrupted=%d, packets unrecovered=%d (n=%d sessions)\n",
+				label, corrupted, lost, len(udp))
+		}
+	}
+}
+
+// BenchmarkAblationLiveContent contrasts live and pre-recorded delivery of
+// the same content on the same path — the paper's future-work experiment
+// (Section VIII, citing [LH01]).
+func BenchmarkAblationLiveContent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, live := range []bool{false, true} {
+			var jitVals, bufVals []float64
+			for seed := int64(0); seed < 6; seed++ {
+				st, err := core.RunSession(core.SessionOptions{
+					Protocol:     transport.UDP,
+					ClientAccess: netsim.AccessDSLCable,
+					ClipKbps:     225,
+					Live:         live,
+					Route: netsim.Route{
+						OneWayDelay: 50 * time.Millisecond, Jitter: 15 * time.Millisecond,
+						LossRate: 0.01, CapacityKbps: 600, CongestionMean: 0.3, CongestionVar: 0.15,
+					},
+					Seed: 200 + seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jitVals = append(jitVals, st.JitterMs)
+				bufVals = append(bufVals, st.BufferingTime.Seconds())
+			}
+			label := "prerecorded"
+			if live {
+				label = "live"
+			}
+			ablationPrintf("live-"+label,
+				"ablation content=%-11s jitter %.0f ms, initial buffering %.1f s\n",
+				label, stats.Mean(jitVals), stats.Mean(bufVals))
+		}
+	}
+}
+
+// BenchmarkAblationScalableVideo compares controlled frame-rate reduction
+// against erratic overload behaviour on the study's slowest PC class.
+func BenchmarkAblationScalableVideo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, disable := range []bool{false, true} {
+			var fpsVals, jitVals []float64
+			for seed := int64(0); seed < 6; seed++ {
+				st, err := core.RunSession(core.SessionOptions{
+					Protocol:             transport.UDP,
+					ClientAccess:         netsim.AccessDSLCable,
+					ClipKbps:             350,
+					CPU:                  player.PCPentiumMMX,
+					DisableScalableVideo: disable,
+					Seed:                 100 + seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fpsVals = append(fpsVals, st.MeasuredFPS)
+				jitVals = append(jitVals, st.JitterMs)
+			}
+			label := "on"
+			if disable {
+				label = "off"
+			}
+			ablationPrintf("sv-"+label,
+				"ablation scalablevideo=%-3s (Pentium MMX, 350Kbps clip): %.1f fps, jitter %.0f ms\n",
+				label, stats.Mean(fpsVals), stats.Mean(jitVals))
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command realtracer is the live client: it plays clips from a running
+// cmd/realserver over real sockets, measuring exactly what the study's
+// RealTracer measured — frame rate, bandwidth, jitter, drops — and printing
+// a per-clip report. Write the records with -out and feed them to
+// cmd/realdata.
+//
+// Usage:
+//
+//	realtracer [-server 127.0.0.1:8554] [-udp 127.0.0.1:8556] [-clips 3]
+//	           [-proto udp|tcp] [-playfor 20s] [-maxkbps 350] [-out trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"realtracer/internal/player"
+	"realtracer/internal/session"
+	"realtracer/internal/trace"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:8554", "server control address")
+	udpAddr := flag.String("udp", "127.0.0.1:8556", "server UDP data address")
+	clips := flag.Int("clips", 3, "how many clips to play (clip000.rm onward)")
+	proto := flag.String("proto", "udp", "data transport: udp or tcp")
+	playFor := flag.Duration("playfor", 20*time.Second, "per-clip playout length")
+	maxKbps := flag.Float64("maxkbps", 350, "RealPlayer maximum bandwidth preference")
+	out := flag.String("out", "", "append records to this CSV file")
+	flag.Parse()
+
+	protocol := transport.UDP
+	if *proto == "tcp" {
+		protocol = transport.TCP
+	}
+	host := hostOf(*serverAddr)
+
+	loop := vclock.NewLoop()
+	clock := vclock.NewReal(loop)
+	net := session.RealNet{Host: "127.0.0.1", Loop: loop}
+
+	var records []*trace.Record
+	var playNext func(i int)
+	playNext = func(i int) {
+		if i >= *clips {
+			if *out != "" {
+				f, err := os.Create(*out)
+				if err == nil {
+					trace.WriteCSV(f, records)
+					f.Close()
+					fmt.Printf("wrote %d records to %s\n", len(records), *out)
+				}
+			}
+			loop.Close()
+			return
+		}
+		url := fmt.Sprintf("rtsp://%s/clip%03d.rm", host, i)
+		fmt.Printf("playing %s over %s...\n", url, protocol)
+		p := player.New(player.Config{
+			Clock:            clock,
+			Net:              net,
+			ControlAddr:      *serverAddr,
+			ServerUDPAddr:    *udpAddr,
+			URL:              url,
+			Protocol:         protocol,
+			MaxBandwidthKbps: *maxKbps,
+			PlayFor:          *playFor,
+			Rand:             rand.New(rand.NewSource(time.Now().UnixNano())),
+			OnDone: func(st *player.Stats, err error) {
+				report(st, err)
+				records = append(records, recordOf(url, *serverAddr, st))
+				playNext(i + 1)
+			},
+		})
+		p.Start()
+	}
+	loop.Post(func() { playNext(0) })
+	loop.Run()
+}
+
+func report(st *player.Stats, err error) {
+	if err != nil {
+		fmt.Printf("  session ended: %v\n", err)
+	}
+	fmt.Printf("  encoded %.0f Kbps @ %.1f fps | measured %.0f Kbps @ %.1f fps | jitter %.0f ms\n",
+		st.EncodedKbps, st.EncodedFPS, st.MeasuredKbps, st.MeasuredFPS, st.JitterMs)
+	fmt.Printf("  frames: played=%d late=%d cpu=%d corrupted=%d | rebuffers=%d (%.1fs) | buffering %.1fs | switches=%d\n",
+		st.FramesPlayed, st.FramesDroppedLate, st.FramesDroppedCPU, st.FramesCorrupted,
+		st.Rebuffers, st.RebufferTime.Seconds(), st.BufferingTime.Seconds(), st.Switches)
+}
+
+func recordOf(url, server string, st *player.Stats) *trace.Record {
+	return &trace.Record{
+		User: "live", Country: "local", Region: "local", Access: "loopback",
+		ClipURL: url, Server: server,
+		Unavailable: st.Unavailable, Failed: st.Failed, Protocol: st.Protocol.String(),
+		EncodedKbps: st.EncodedKbps, EncodedFPS: st.EncodedFPS,
+		MeasuredKbps: st.MeasuredKbps, MeasuredFPS: st.MeasuredFPS, JitterMs: st.JitterMs,
+		FramesPlayed: st.FramesPlayed, FramesDroppedLate: st.FramesDroppedLate,
+		FramesDroppedCPU: st.FramesDroppedCPU, FramesLost: st.FramesLost,
+		FramesCorrupted: st.FramesCorrupted,
+		Rebuffers:       st.Rebuffers, RebufferTime: st.RebufferTime, BufferingTime: st.BufferingTime,
+		CPUUtilization: st.CPUUtilization, Switches: st.Switches,
+	}
+}
+
+func hostOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}

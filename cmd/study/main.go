@@ -1,0 +1,145 @@
+// Command study runs the full simulated RealTracer measurement campaign and
+// regenerates the paper's figures from the resulting trace.
+//
+// Usage:
+//
+//	study [-seed N] [-users N] [-clips N] [-out trace.csv] [-json trace.json]
+//	      [-figure figNN | -figures] [-sites] [-timeline]
+//
+// With no figure flags it prints the campaign's headline numbers. -figure
+// regenerates one figure; -figures all of them; -timeline runs the single-
+// session Figure-1 experiment; -sites prints the server/user geography
+// (the stand-in for the paper's map Figures 3 and 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realtracer/internal/core"
+	"realtracer/internal/geo"
+	"realtracer/internal/stats"
+	"realtracer/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "study random seed (one seed = one reproducible campaign)")
+	users := flag.Int("users", 0, "limit number of users (0 = full 63-user population)")
+	clips := flag.Int("clips", 0, "limit clips per user (0 = each user's own playlist progress)")
+	out := flag.String("out", "", "write the trace as CSV to this file")
+	jsonOut := flag.String("json", "", "write the trace as JSON to this file")
+	figure := flag.String("figure", "", "regenerate one figure (fig01..fig28)")
+	figuresAll := flag.Bool("figures", false, "regenerate every figure")
+	sites := flag.Bool("sites", false, "print server sites and user population, then exit")
+	timeline := flag.Bool("timeline", false, "run the Figure-1 single-session timeline, then exit")
+	flag.Parse()
+
+	if *sites {
+		printSites(*seed)
+		return
+	}
+	if *timeline || *figure == "fig01" {
+		fig, st, err := core.Fig01Timeline(*seed)
+		if err != nil {
+			fatalf("fig01: %v", err)
+		}
+		fig.Render(os.Stdout)
+		for _, pt := range st.Timeline {
+			fmt.Printf("t=%5.1fs bandwidth=%7.1fKbps fps=%4.1f\n", pt.T.Seconds(), pt.Kbps, pt.FPS)
+		}
+		return
+	}
+
+	res, err := core.RunStudy(core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips})
+	if err != nil {
+		fatalf("study: %v", err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		if err := trace.WriteCSV(f, res.Records); err != nil {
+			fatalf("write csv: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %d records to %s\n", len(res.Records), *out)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatalf("create %s: %v", *jsonOut, err)
+		}
+		if err := trace.WriteJSON(f, res.Records); err != nil {
+			fatalf("write json: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %d records to %s\n", len(res.Records), *jsonOut)
+	}
+
+	switch {
+	case *figure != "":
+		fig, err := core.RunFigure(*figure, res.Records)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fig.Render(os.Stdout)
+	case *figuresAll:
+		core.RenderAll(os.Stdout, res.Records)
+	default:
+		printSummary(res)
+	}
+}
+
+func printSummary(res *core.StudyResult) {
+	played := trace.Played(res.Records)
+	rated := trace.Rated(res.Records)
+	var unavailable int
+	protos := map[string]int{}
+	for _, r := range res.Records {
+		if r.Unavailable {
+			unavailable++
+		}
+	}
+	var fps, jit []float64
+	for _, r := range played {
+		protos[r.Protocol]++
+		fps = append(fps, r.MeasuredFPS)
+		jit = append(jit, r.JitterMs)
+	}
+	sfps, _ := stats.Summarize(fps)
+	cdf, _ := stats.NewCDF(fps)
+	jcdf, _ := stats.NewCDF(jit)
+	fmt.Printf("study complete: %d users, %d clip attempts over %v of virtual time (%d events)\n",
+		len(res.Users), len(res.Records), res.SimDuration.Round(1e9), res.Events)
+	fmt.Printf("  played=%d unavailable=%d (%.1f%%) rated=%d\n",
+		len(played), unavailable, 100*float64(unavailable)/float64(len(res.Records)), len(rated))
+	fmt.Printf("  transport: TCP=%d UDP=%d\n", protos["TCP"], protos["UDP"])
+	fmt.Printf("  frame rate: mean=%.1f fps, below 3 fps %.0f%%, 15+ fps %.0f%%\n",
+		sfps.Mean, 100*cdf.FractionBelow(3), 100*cdf.FractionAtLeast(15))
+	fmt.Printf("  jitter: <=50ms %.0f%%, >=300ms %.0f%%\n", 100*jcdf.At(50), 100*jcdf.FractionAtLeast(300))
+	fmt.Println("run with -figures (or -figure figNN) for the full evaluation output")
+}
+
+func printSites(seed int64) {
+	fmt.Println("RealServer sites (Figures 3, 8, 10):")
+	for _, s := range geo.Sites() {
+		fmt.Printf("  %-14s host=%-9s country=%-9s region=%-10s unavailability=%.0f%% clips=%d\n",
+			s.Name, s.Host, s.Country, s.Region, 100*s.Unavailability, s.Clips)
+	}
+	users := geo.Population(seed + 1)
+	byCountry := map[string]int{}
+	for _, u := range users {
+		byCountry[u.Country]++
+	}
+	fmt.Printf("User population (Figures 4, 7): %d users\n", len(users))
+	for c, n := range byCountry {
+		fmt.Printf("  %-12s %d\n", c, n)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

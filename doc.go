@@ -1,0 +1,14 @@
+// Package realtracer reproduces "An Empirical Study of RealVideo
+// Performance Across the Internet" (Wang, Claypool, Zuo — 2001) as a
+// complete synthetic system: a RealServer-style streaming server, a
+// RealPlayer/RealTracer-style instrumented client, the RTSP/RDT protocols
+// between them, TCP/UDP transports over a deterministic discrete-event
+// network simulator calibrated to the 2001 Internet, and the full
+// 63-user/11-server measurement campaign whose trace regenerates every
+// figure of the paper's evaluation.
+//
+// Entry points: internal/core (run the study, regenerate figures),
+// cmd/study and cmd/realdata (collection and analysis tools), cmd/realserver
+// and cmd/realtracer (live operation over OS sockets). bench_test.go in this
+// directory holds one benchmark per paper figure plus the design ablations.
+package realtracer

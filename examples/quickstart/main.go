@@ -1,0 +1,33 @@
+// Quickstart: stream one clip from an in-process server to an in-process
+// player over the network simulator, and print the Figure-1 style timeline
+// (buffering, then steady playout).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"realtracer/internal/core"
+)
+
+func main() {
+	fig, st, err := core.Fig01Timeline(42)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+	fig.Render(os.Stdout)
+
+	fmt.Println("per-second timeline (bandwidth Kbps | video fps):")
+	for _, pt := range st.Timeline {
+		bar := ""
+		for i := 0.0; i < pt.FPS; i++ {
+			bar += "*"
+		}
+		fmt.Printf("  t=%4.0fs  %7.1f Kbps  %4.1f fps %s\n", pt.T.Seconds(), pt.Kbps, pt.FPS, bar)
+	}
+	fmt.Printf("\nsummary: buffered %.1fs, then played %d frames at %.1f fps with %.0f ms jitter\n",
+		st.BufferingTime.Seconds(), st.FramesPlayed, st.MeasuredFPS, st.JitterMs)
+}

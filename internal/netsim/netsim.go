@@ -1,0 +1,378 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It stands in for the June-2001 Internet of the paper: hosts attach to the
+// network through access links (56k modem, DSL/Cable, T1/LAN), wide-area
+// routes between geographic sites contribute propagation delay, random loss
+// and time-varying cross-traffic, and every path is shaped by a fluid
+// bottleneck queue (drop-tail) that produces queueing delay and overflow
+// loss exactly where a real router would.
+//
+// The simulator delivers opaque packets between registered handlers; the
+// transport layer (internal/transport) builds TCP and UDP semantics on top.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"realtracer/internal/simclock"
+)
+
+// Addr identifies a host endpoint ("host:port" style, but opaque to netsim).
+type Addr string
+
+// Host returns the host component of the address (everything before the
+// final ':'), or the whole address when there is no port.
+func (a Addr) Host() string {
+	s := string(a)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Packet is a unit of transfer. Payload is carried by reference (the
+// simulation does not serialize); Size is what occupies link capacity.
+type Packet struct {
+	From, To Addr
+	Size     int // bytes on the wire, including all header overhead
+	Payload  any
+}
+
+// Handler receives packets addressed to a registered Addr.
+type Handler func(pkt *Packet)
+
+// AccessClass is the end-host network configuration from the study's
+// user-information dialog.
+type AccessClass int
+
+const (
+	AccessModem AccessClass = iota // 56k modem
+	AccessDSLCable
+	AccessT1LAN
+	AccessServer // well-provisioned server uplink
+)
+
+// String returns the label used in the paper's figures.
+func (a AccessClass) String() string {
+	switch a {
+	case AccessModem:
+		return "56k Modem"
+	case AccessDSLCable:
+		return "DSL/Cable"
+	case AccessT1LAN:
+		return "T1/LAN"
+	case AccessServer:
+		return "Server"
+	default:
+		return fmt.Sprintf("AccessClass(%d)", int(a))
+	}
+}
+
+// AccessProfile describes an access link's steady-state characteristics.
+type AccessProfile struct {
+	DownKbps float64 // downstream capacity
+	UpKbps   float64 // upstream capacity
+	// QueueDelayMax is the worst-case buffering at the access link before
+	// drop-tail loss (router buffer expressed in time at line rate).
+	QueueDelayMax time.Duration
+	// BaseDelay is the access technology's first-hop latency (modems add
+	// tens of ms of serialization/interleaving delay).
+	BaseDelay time.Duration
+}
+
+// DefaultAccessProfile returns 2001-era characteristics for the class.
+// Typical 56k modems streamed up to ~50 Kbps; DSL/Cable up to ~500 Kbps
+// (paper, Section V.A); T1/LAN above that but shared with corporate traffic.
+func DefaultAccessProfile(class AccessClass) AccessProfile {
+	switch class {
+	case AccessModem:
+		return AccessProfile{DownKbps: 50, UpKbps: 33, QueueDelayMax: 1200 * time.Millisecond, BaseDelay: 90 * time.Millisecond}
+	case AccessDSLCable:
+		return AccessProfile{DownKbps: 512, UpKbps: 128, QueueDelayMax: 450 * time.Millisecond, BaseDelay: 12 * time.Millisecond}
+	case AccessT1LAN:
+		return AccessProfile{DownKbps: 1544, UpKbps: 1544, QueueDelayMax: 250 * time.Millisecond, BaseDelay: 3 * time.Millisecond}
+	case AccessServer:
+		return AccessProfile{DownKbps: 10000, UpKbps: 10000, QueueDelayMax: 150 * time.Millisecond, BaseDelay: 2 * time.Millisecond}
+	default:
+		return AccessProfile{DownKbps: 512, UpKbps: 512, QueueDelayMax: 300 * time.Millisecond, BaseDelay: 10 * time.Millisecond}
+	}
+}
+
+// Route describes the wide-area segment between two sites, independent of
+// either end's access link.
+type Route struct {
+	// OneWayDelay is the base propagation delay in one direction.
+	OneWayDelay time.Duration
+	// Jitter is the maximum extra random per-packet delay on the route.
+	Jitter time.Duration
+	// LossRate is the route's random (non-congestion) packet loss
+	// probability in [0, 1].
+	LossRate float64
+	// CapacityKbps is the route's share available to one flow before
+	// cross-traffic is applied. Zero means "not the bottleneck".
+	CapacityKbps float64
+	// CongestionMean and CongestionVar parameterize the AR(1) cross-traffic
+	// level in [0, 1): the fraction of bottleneck capacity consumed by
+	// background traffic, resampled about once a second.
+	CongestionMean float64
+	CongestionVar  float64
+}
+
+// RouteTable resolves the wide-area route between two hosts (by host name).
+// geo implements this from the study's region matrix.
+type RouteTable interface {
+	Route(fromHost, toHost string) Route
+}
+
+// StaticRoute is a RouteTable returning the same Route for every pair;
+// convenient in unit tests.
+type StaticRoute Route
+
+// Route implements RouteTable.
+func (s StaticRoute) Route(from, to string) Route { return Route(s) }
+
+// HostConfig describes one attached host.
+type HostConfig struct {
+	Name   string
+	Access AccessProfile
+}
+
+type host struct {
+	cfg      HostConfig
+	handlers map[Addr]Handler
+	// Fluid drop-tail queues: the virtual time until which each direction of
+	// the access link is busy serving earlier packets.
+	upBusyUntil   time.Duration
+	downBusyUntil time.Duration
+}
+
+type pairKey struct{ from, to string }
+
+// pathState carries the per-ordered-pair wide-area state.
+type pathState struct {
+	route        Route
+	busyUntil    time.Duration // fluid queue at the route bottleneck
+	congestion   float64       // current cross-traffic level in [0,1)
+	lastResample time.Duration
+}
+
+// Network simulates packet delivery between hosts. Not safe for concurrent
+// use: it shares the single-threaded simclock discipline.
+type Network struct {
+	Clock  *simclock.Clock
+	rng    *rand.Rand
+	routes RouteTable
+	hosts  map[string]*host
+	paths  map[pairKey]*pathState
+
+	// Stats
+	sent, delivered, dropped uint64
+}
+
+// New creates a Network on the given clock. routes may be nil, in which case
+// a zero Route (LAN-like: no delay, no loss, unconstrained) is used
+// everywhere.
+func New(clock *simclock.Clock, routes RouteTable, seed int64) *Network {
+	if routes == nil {
+		routes = StaticRoute{}
+	}
+	return &Network{
+		Clock:  clock,
+		rng:    rand.New(rand.NewSource(seed)),
+		routes: routes,
+		hosts:  make(map[string]*host),
+		paths:  make(map[pairKey]*pathState),
+	}
+}
+
+// AddHost attaches a host. Adding the same name twice panics: host identity
+// is load-bearing for path state.
+func (n *Network) AddHost(cfg HostConfig) {
+	if _, ok := n.hosts[cfg.Name]; ok {
+		panic("netsim: duplicate host " + cfg.Name)
+	}
+	n.hosts[cfg.Name] = &host{cfg: cfg, handlers: make(map[Addr]Handler)}
+}
+
+// RemoveHost detaches a host and all its handlers. Unknown names are a no-op.
+func (n *Network) RemoveHost(name string) { delete(n.hosts, name) }
+
+// Register installs the packet handler for addr. The host component of addr
+// must have been added with AddHost.
+func (n *Network) Register(addr Addr, h Handler) {
+	hst, ok := n.hosts[addr.Host()]
+	if !ok {
+		panic("netsim: Register on unknown host " + addr.Host())
+	}
+	hst.handlers[addr] = h
+}
+
+// Unregister removes the handler for addr.
+func (n *Network) Unregister(addr Addr) {
+	if hst, ok := n.hosts[addr.Host()]; ok {
+		delete(hst.handlers, addr)
+	}
+}
+
+// Stats reports cumulative packet counts: sent (offered to the network),
+// delivered and dropped (loss or queue overflow).
+func (n *Network) Stats() (sent, delivered, dropped uint64) {
+	return n.sent, n.delivered, n.dropped
+}
+
+func (n *Network) path(from, to string) *pathState {
+	k := pairKey{from, to}
+	p, ok := n.paths[k]
+	if !ok {
+		r := n.routes.Route(from, to)
+		p = &pathState{route: r, congestion: clamp01(r.CongestionMean)}
+		n.paths[k] = p
+	}
+	return p
+}
+
+const congestionResample = time.Second
+
+// resampleCongestion advances the AR(1) cross-traffic process to now.
+func (n *Network) resampleCongestion(p *pathState) {
+	now := n.Clock.Now()
+	for p.lastResample+congestionResample <= now {
+		p.lastResample += congestionResample
+		mean, sd := p.route.CongestionMean, p.route.CongestionVar
+		// AR(1) pull toward the mean with Gaussian innovation.
+		p.congestion = clamp01(p.congestion + 0.35*(mean-p.congestion) + n.rng.NormFloat64()*sd)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}
+
+// Send offers pkt to the network. Delivery (or silent drop) is scheduled on
+// the clock; the call itself does not advance time. Sending from or to an
+// unknown host drops the packet.
+func (n *Network) Send(pkt *Packet) {
+	n.sent++
+	src, ok := n.hosts[pkt.From.Host()]
+	if !ok {
+		n.dropped++
+		return
+	}
+	dst, ok := n.hosts[pkt.To.Host()]
+	if !ok {
+		n.dropped++
+		return
+	}
+	p := n.path(src.cfg.Name, dst.cfg.Name)
+	n.resampleCongestion(p)
+	now := n.Clock.Now()
+	bits := float64(pkt.Size) * 8
+
+	// 1. Source access link uplink: fluid drop-tail queue.
+	upRate := kbpsToBitsPerSec(src.cfg.Access.UpKbps)
+	txUp := durationFromSeconds(bits / upRate)
+	start := maxDur(now, src.upBusyUntil)
+	if start-now > src.cfg.Access.QueueDelayMax {
+		n.dropped++
+		return
+	}
+	src.upBusyUntil = start + txUp
+	t := src.upBusyUntil + src.cfg.Access.BaseDelay
+
+	// 2. Wide-area route: bottleneck service (if capacity-constrained by the
+	// route), propagation, random loss and jitter.
+	r := p.route
+	if r.LossRate > 0 && n.rng.Float64() < r.LossRate {
+		n.dropped++
+		return
+	}
+	if r.CapacityKbps > 0 {
+		avail := kbpsToBitsPerSec(r.CapacityKbps) * (1 - p.congestion)
+		tx := durationFromSeconds(bits / avail)
+		s := maxDur(t, p.busyUntil)
+		// Route buffers are generous; express overflow as time at line rate.
+		const routeQueueMax = 2 * time.Second
+		if s-t > routeQueueMax {
+			n.dropped++
+			return
+		}
+		p.busyUntil = s + tx
+		t = p.busyUntil
+	}
+	t += r.OneWayDelay
+	if r.Jitter > 0 {
+		t += time.Duration(n.rng.Float64() * float64(r.Jitter))
+	}
+
+	// 3. Destination access link downlink: where modems actually hurt.
+	downRate := kbpsToBitsPerSec(dst.cfg.Access.DownKbps)
+	txDown := durationFromSeconds(bits / downRate)
+	arrive := maxDur(t, dst.downBusyUntil)
+	if arrive-t > dst.cfg.Access.QueueDelayMax {
+		n.dropped++
+		return
+	}
+	dst.downBusyUntil = arrive + txDown
+	deliverAt := dst.downBusyUntil + dst.cfg.Access.BaseDelay
+
+	n.Clock.At(deliverAt, func() {
+		hst, ok := n.hosts[pkt.To.Host()]
+		if !ok {
+			n.dropped++
+			return
+		}
+		h, ok := hst.handlers[pkt.To]
+		if !ok {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		h(pkt)
+	})
+}
+
+// Congestion returns the current cross-traffic level on the ordered path
+// from -> to (creating path state if needed). Exposed for tests and the
+// adaptation example.
+func (n *Network) Congestion(from, to string) float64 {
+	p := n.path(from, to)
+	n.resampleCongestion(p)
+	return p.congestion
+}
+
+// SetCongestionMean overrides the cross-traffic mean for the ordered pair,
+// taking effect from the current virtual time. Used by the congestion and
+// adaptation examples to create a mid-clip congestion epoch.
+func (n *Network) SetCongestionMean(from, to string, mean, variance float64) {
+	p := n.path(from, to)
+	p.route.CongestionMean = mean
+	p.route.CongestionVar = variance
+}
+
+func kbpsToBitsPerSec(kbps float64) float64 {
+	if kbps <= 0 {
+		return 1 // avoid division by zero; effectively a dead link
+	}
+	return kbps * 1000
+}
+
+func durationFromSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

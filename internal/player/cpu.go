@@ -1,0 +1,57 @@
+package player
+
+import "fmt"
+
+// CPUProfile models the end-user PC classes of Figure 19. Power 1.0 means
+// the machine decodes 320x240 video at 30 fps with headroom; the study's
+// oldest machines fall well below that.
+type CPUProfile struct {
+	// Name is the label used in Figure 19.
+	Name string
+	// Power is relative decode capability (1.0 = 320x240 @ 30 fps).
+	Power float64
+	// MemMB is installed RAM; low memory adds paging noise to decode times.
+	MemMB int
+}
+
+// The PC classes observed in the study (Figure 19), with decode power
+// calibrated so that only the oldest generation is the bottleneck —
+// the paper's finding.
+var (
+	PCPentiumMMX  = CPUProfile{Name: "Intel Pentium MMX / 24MB", Power: 0.18, MemMB: 24}
+	PCPentiumII32 = CPUProfile{Name: "Pentium II / 32MB", Power: 0.55, MemMB: 32}
+	PCCeleron     = CPUProfile{Name: "Intel Celeron / 64-96MB", Power: 0.95, MemMB: 80}
+	PCPentiumII   = CPUProfile{Name: "Pentium II / 128-256MB", Power: 1.1, MemMB: 192}
+	PCPentiumIII  = CPUProfile{Name: "Pentium III / 256-512MB", Power: 1.9, MemMB: 384}
+	PCAMD         = CPUProfile{Name: "AMD / 320-512MB", Power: 1.7, MemMB: 448}
+)
+
+// PCClasses lists the study's classes in Figure 19 order.
+func PCClasses() []CPUProfile {
+	return []CPUProfile{PCPentiumII32, PCPentiumII, PCPentiumIII, PCCeleron, PCPentiumMMX, PCAMD}
+}
+
+// referencePixelRate is the pixel throughput behind Power 1.0.
+const referencePixelRate = 320.0 * 240.0 * 30.0
+
+// maxFPS returns the frame rate the profile can decode at the given frame
+// dimensions.
+func (p CPUProfile) maxFPS(w, h int) float64 {
+	if w <= 0 || h <= 0 {
+		return 1e9
+	}
+	return p.Power * referencePixelRate / float64(w*h)
+}
+
+// utilization returns the fraction of the machine consumed decoding fps
+// frames of w x h video (may exceed 1 when overloaded).
+func (p CPUProfile) utilization(w, h int, fps float64) float64 {
+	cap := p.maxFPS(w, h)
+	if cap <= 0 {
+		return 1
+	}
+	return fps / cap
+}
+
+// String implements fmt.Stringer.
+func (p CPUProfile) String() string { return fmt.Sprintf("%s (x%.2f)", p.Name, p.Power) }

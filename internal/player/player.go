@@ -1,0 +1,1081 @@
+// Package player implements the RealPlayer/RealTracer client engine: it
+// negotiates a session over RTSP, receives the RDT data stream over TCP or
+// UDP, buffers, plays out frames on schedule, and records the per-clip
+// statistics the study analyzes — encoded and measured bandwidth and frame
+// rate, inter-frame jitter (standard deviation of playout gaps), frames
+// dropped, rebuffering, transport protocol and CPU utilization.
+//
+// Buffering follows the paper's description (Section II.B): data buffers
+// before playout begins (Figure 1 shows ~13 s); if the buffer empties
+// mid-clip the player halts for up to 20 s while it refills.
+package player
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"realtracer/internal/rdt"
+	"realtracer/internal/rtsp"
+	"realtracer/internal/session"
+	"realtracer/internal/stats"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// Defaults mirroring RealPlayer 8 behaviour.
+const (
+	// DefaultPreroll is the media depth buffered before playout starts
+	// (Figure 1 shows roughly this much wall time spent filling).
+	DefaultPreroll = 8 * time.Second
+	// rebufferTarget is the refill depth after a mid-clip stall.
+	rebufferTarget = 3 * time.Second
+	// maxRebuffer caps a stall: "RealPlayer halts the clip playback for up
+	// to 20 seconds while the buffer is filled again."
+	maxRebuffer = 20 * time.Second
+	// DefaultPlayFor is RealTracer's default per-clip playout (Section
+	// III.A: "play the clip for 1 minute").
+	DefaultPlayFor = time.Minute
+	// reportInterval paces receiver reports and buffer-state updates.
+	reportInterval = time.Second
+	// idleTimeout aborts a session that has gone silent.
+	idleTimeout = 30 * time.Second
+	// lateWindow is how far past its deadline a frame may arrive and still
+	// be played (late, at arrival — visible as jitter) rather than dropped.
+	lateWindow = 400 * time.Millisecond
+	// underrunGrace is how long the player waits on an empty buffer for the
+	// next frame before declaring an underrun and halting to rebuffer.
+	underrunGrace = 1200 * time.Millisecond
+	// recoveryLag is the minimum age a frame must reach before display, so
+	// FEC/NACK recoveries of slightly-older packets can land before their
+	// playout slots even when the buffer is running dry.
+	recoveryLag = 500 * time.Millisecond
+)
+
+// Config parameterizes one clip playout.
+type Config struct {
+	Clock vclock.Clock
+	Net   session.Net
+	// ControlAddr is the server's RTSP endpoint ("host:554").
+	ControlAddr string
+	// ServerUDPAddr overrides the server's UDP data endpoint; by default it
+	// is the control host at the well-known data port.
+	ServerUDPAddr string
+	// URL is the clip to request.
+	URL string
+	// Protocol is the transport requested for the data connection.
+	Protocol transport.Protocol
+	// MaxBandwidthKbps is the player's configured maximum bit rate (the
+	// RealPlayer preference the server's stream selection honours).
+	MaxBandwidthKbps float64
+	// PlayFor bounds wall-clock playout; DefaultPlayFor when zero.
+	PlayFor time.Duration
+	// Preroll overrides the initial buffer depth; DefaultPreroll when zero.
+	Preroll time.Duration
+	// CPU is the end-host machine class.
+	CPU CPUProfile
+	// DisableScalableVideo turns off Scalable Video Technology's controlled
+	// frame-rate reduction: an overloaded decoder then drops frames
+	// erratically instead (ablation knob; Section II.C describes the
+	// feature).
+	DisableScalableVideo bool
+	// Rand drives decode-time noise; a default source is used when nil.
+	Rand *rand.Rand
+	// OnDone receives the final statistics (always non-nil) and an error
+	// for sessions that failed outright.
+	OnDone func(*Stats, error)
+}
+
+// Stats is the per-clip record RealTracer reported back to WPI.
+type Stats struct {
+	URL      string
+	Server   string
+	Protocol transport.Protocol
+
+	// Encoded values of the stream initially selected by the server.
+	EncodedKbps float64
+	EncodedFPS  float64
+
+	// Measured performance.
+	MeasuredKbps float64 // bytes received over the receive interval
+	MeasuredFPS  float64 // video frames played per second of playout time
+	JitterMs     float64 // stddev of inter-frame playout gaps (ms)
+
+	FramesPlayed      int
+	FramesDroppedLate int // arrived after their deadline
+	FramesDroppedCPU  int // shed by the decoder (scalable video)
+	FramesLost        int // packets never arrived (post-FEC)
+	FramesCorrupted   int // undisplayable: GOP decode chain broken by loss
+
+	Rebuffers     int
+	RebufferTime  time.Duration
+	BufferingTime time.Duration // initial buffering (Figure 1's flat region)
+
+	CPUUtilization float64 // 0-1 (1 = saturated)
+	Switches       int     // SureStream encoding changes observed
+
+	Unavailable bool   // clip was temporarily unavailable (Figure 10)
+	Failed      bool   // session error other than unavailability
+	FailReason  string // diagnostic detail for Failed sessions
+
+	PlayDuration time.Duration // wall time spent in playing/rebuffering
+
+	// PlayoutGaps lists the inter-frame playout gaps exceeding 500 ms, in
+	// milliseconds — diagnostic detail behind the jitter number.
+	PlayoutGaps []float64
+
+	// Timeline holds one sample per second: the Figure-1 view of a session
+	// (current bandwidth and frame rate against the encoded values).
+	Timeline []TimePoint
+}
+
+// TimePoint is one per-second sample of a session.
+type TimePoint struct {
+	T    time.Duration // wall time since session start
+	Kbps float64       // bandwidth received during the second
+	FPS  float64       // video frames played during the second
+}
+
+// Player runs one clip session. Create with New, start with Start; the
+// OnDone callback fires exactly once.
+type Player struct {
+	cfg Config
+	st  *Stats
+
+	ctl      transport.Conn
+	data     transport.Conn
+	dataIsMe bool // data conn owned by player (needs Close)
+	sessID   string
+	desc     session.ClipDesc
+	cseq     int
+	pending  map[int]func(*rtsp.Message)
+
+	state      string        // "setup", "buffering", "playing", "rebuffering", "done"
+	playStart  time.Duration // wall time playout began
+	mediaBase  time.Duration // playout offset: wall = mediaBase + mediaTime
+	playPos    time.Duration // media position played so far
+	endAt      vclock.Timer
+	frameTimer vclock.Timer
+	graceTimer vclock.Timer
+	idle       vclock.Timer
+	reportTick vclock.Timer
+
+	// Receive path.
+	frames   frameHeap // assembled, not yet played
+	partials map[uint64]*partial
+
+	// GOP decode-chain state (see trackDecodeChain).
+	nextVideoIdx uint32
+	videoIdxSeen bool
+	chainBroken  bool
+	bufEnd       time.Duration // highest buffered media time
+	eos          bool
+	firstRecvAt  time.Duration
+	lastRecvAt   time.Duration
+	bytesRecv    int
+
+	// Video-stream loss tracking (UDP).
+	highestSeq   uint32
+	haveSeq      map[uint32]*rdt.Data // recent video packets for FEC
+	recvSeqCount int
+	recovered    int
+	// Interval snapshots so reports carry per-interval loss, not cumulative
+	// (cumulative loss would pin the rate controller to an early disaster).
+	lastRepHighest uint32
+	lastRepLost    int
+
+	// NACK state: outstanding sequence gaps and how many times each has
+	// been requested (up to nackMaxTries, like RDT's bounded NAKs).
+	nackOutstanding map[uint32]int
+	nackTimer       vclock.Timer
+
+	// Playout record.
+	playTimes []time.Duration // wall timestamps of played video frames
+
+	// Interval measurements for reports.
+	intBytes       int
+	lastTickFrames int
+
+	// CPU decimation.
+	decim      int
+	decimCount int
+
+	// Current encoding as observed from data packets.
+	curEncRate float64
+
+	buffStart  time.Duration
+	rebufStart time.Duration
+	doneCalled bool
+}
+
+// New builds a Player; Start launches it.
+func New(cfg Config) *Player {
+	if cfg.PlayFor <= 0 {
+		cfg.PlayFor = DefaultPlayFor
+	}
+	if cfg.Preroll <= 0 {
+		cfg.Preroll = DefaultPreroll
+	}
+	if cfg.CPU.Power <= 0 {
+		cfg.CPU = PCPentiumIII
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(1))
+	}
+	return &Player{
+		cfg:             cfg,
+		st:              &Stats{URL: cfg.URL, Server: cfg.ControlAddr, Protocol: cfg.Protocol},
+		pending:         make(map[int]func(*rtsp.Message)),
+		partials:        make(map[uint64]*partial),
+		haveSeq:         make(map[uint32]*rdt.Data),
+		nackOutstanding: make(map[uint32]int),
+		state:           "setup",
+	}
+}
+
+// Start begins the session: dial control, DESCRIBE, SETUP, PLAY.
+func (p *Player) Start() {
+	p.touchIdle()
+	p.cfg.Net.DialTCP(p.cfg.ControlAddr, func(c transport.Conn, err error) {
+		if err != nil {
+			p.finish(fmt.Errorf("player: control dial: %w", err))
+			return
+		}
+		p.ctl = c
+		c.SetReceiver(p.onControl)
+		p.describe()
+	})
+}
+
+func (p *Player) request(m *rtsp.Message, cb func(*rtsp.Message)) {
+	p.cseq++
+	m.CSeq = p.cseq
+	if cb != nil {
+		p.pending[p.cseq] = cb
+	}
+	p.ctl.Send(m, m.WireSize())
+}
+
+func (p *Player) onControl(payload any, _ int) {
+	p.touchIdle()
+	resp, ok := payload.(*rtsp.Message)
+	if !ok || resp.Request {
+		return
+	}
+	cb, ok := p.pending[resp.CSeq]
+	if !ok {
+		return
+	}
+	delete(p.pending, resp.CSeq)
+	cb(resp)
+}
+
+func (p *Player) describe() {
+	req := rtsp.NewRequest(rtsp.MethodDescribe, p.cfg.URL, 0)
+	p.request(req, func(resp *rtsp.Message) {
+		switch resp.Status {
+		case rtsp.StatusOK:
+		case rtsp.StatusUnavailable:
+			p.st.Unavailable = true
+			p.finish(ErrUnavailable)
+			return
+		default:
+			p.finish(fmt.Errorf("player: DESCRIBE failed: %d %s", resp.Status, resp.Reason))
+			return
+		}
+		desc, err := session.ParseClipDesc(resp.Body)
+		if err != nil {
+			p.finish(err)
+			return
+		}
+		p.desc = desc
+		p.setup()
+	})
+}
+
+// ErrUnavailable marks the clip-temporarily-unavailable outcome of Fig. 10.
+var ErrUnavailable = errors.New("player: clip unavailable")
+
+func (p *Player) setup() {
+	spec := rtsp.TransportSpec{}
+	if p.cfg.Protocol == transport.UDP {
+		spec.Protocol = "udp"
+		// Bind the data socket first so SETUP can advertise its address.
+		// Connected-UDP semantics need the server's data endpoint up front:
+		// the well-known port on the control host unless overridden.
+		udpAddr := p.cfg.ServerUDPAddr
+		if udpAddr == "" {
+			udpAddr = fmt.Sprintf("%s:%d", hostOf(p.cfg.ControlAddr), session.DataUDPPort)
+		}
+		conn, err := p.cfg.Net.DialUDP(udpAddr)
+		if err != nil {
+			p.finish(err)
+			return
+		}
+		p.data = conn
+		p.dataIsMe = true
+		conn.SetReceiver(p.onData)
+		spec.ClientDataAddr = conn.LocalAddr()
+	} else {
+		spec.Protocol = "tcp"
+	}
+	req := rtsp.NewRequest(rtsp.MethodSetup, p.cfg.URL, 0)
+	req.Set("Transport", spec.Format())
+	req.Set("Bandwidth", fmt.Sprintf("%d", int(p.cfg.MaxBandwidthKbps)))
+	p.request(req, func(resp *rtsp.Message) {
+		if resp.Status != rtsp.StatusOK {
+			p.finish(fmt.Errorf("player: SETUP failed: %d", resp.Status))
+			return
+		}
+		p.sessID = resp.Get("Session")
+		srvSpec, err := rtsp.ParseTransport(resp.Get("Transport"))
+		if err != nil {
+			p.finish(err)
+			return
+		}
+		if p.cfg.Protocol == transport.TCP {
+			p.cfg.Net.DialTCP(srvSpec.ServerDataAddr, func(c transport.Conn, err error) {
+				if err != nil {
+					p.finish(err)
+					return
+				}
+				p.data = c
+				p.dataIsMe = true
+				c.SetReceiver(p.onData)
+				hello := &session.DataHello{SessionID: p.sessID}
+				c.Send(hello, len(p.sessID)+1)
+				p.play()
+			})
+			return
+		}
+		p.play()
+	})
+}
+
+func (p *Player) play() {
+	req := rtsp.NewRequest(rtsp.MethodPlay, p.cfg.URL, 0)
+	req.Set("Session", p.sessID)
+	p.request(req, func(resp *rtsp.Message) {
+		if resp.Status != rtsp.StatusOK {
+			p.finish(fmt.Errorf("player: PLAY failed: %d", resp.Status))
+			return
+		}
+		p.state = "buffering"
+		p.buffStart = p.cfg.Clock.Now()
+		p.endAt = p.cfg.Clock.After(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, p.timeUp)
+		p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReport)
+	})
+}
+
+func hostOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+// --- receive path ---
+
+type partial struct {
+	mediaTime time.Duration
+	video     bool
+	keyframe  bool
+	encRate   float64
+	index     uint32
+	count     uint8
+	got       uint16 // bitmap over fragments (FragCount <= 16 in practice)
+	need      uint8
+	size      int
+}
+
+type bufFrame struct {
+	mediaTime time.Duration
+	arrived   time.Duration // wall time the frame finished assembling
+	video     bool
+	keyframe  bool
+	encRate   float64
+	index     uint32
+	size      int
+}
+
+type frameHeap []bufFrame
+
+func (h frameHeap) Len() int           { return len(h) }
+func (h frameHeap) Less(i, j int) bool { return h[i].mediaTime < h[j].mediaTime }
+func (h frameHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) push(f bufFrame) {
+	*h = append(*h, f)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].mediaTime <= (*h)[i].mediaTime {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+func (h *frameHeap) pop() bufFrame {
+	old := *h
+	top := old[0]
+	n := len(old)
+	old[0] = old[n-1]
+	*h = old[:n-1]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && (*h)[l].mediaTime < (*h)[smallest].mediaTime {
+			smallest = l
+		}
+		if r < len(*h) && (*h)[r].mediaTime < (*h)[smallest].mediaTime {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+	return top
+}
+
+func (p *Player) onData(payload any, size int) {
+	if p.state == "done" {
+		return
+	}
+	p.touchIdle()
+	pkt, ok := payload.(*rdt.Packet)
+	if !ok {
+		return
+	}
+	now := p.cfg.Clock.Now()
+	if p.firstRecvAt == 0 {
+		p.firstRecvAt = now
+	}
+	p.lastRecvAt = now
+	p.bytesRecv += size
+	p.intBytes += size
+
+	switch pkt.Kind {
+	case rdt.TypeData:
+		p.onDataPacket(pkt.Data)
+	case rdt.TypeRepair:
+		p.onRepair(pkt.Repair)
+	case rdt.TypeEndOfStream:
+		p.eos = true
+		p.checkPlayable()
+	}
+}
+
+func (p *Player) onDataPacket(d *rdt.Data) {
+	if d.Stream == rdt.StreamVideo {
+		if _, dup := p.haveSeq[d.Seq]; dup {
+			return // retransmission of something FEC already rebuilt
+		}
+		if d.Seq > p.highestSeq+1 && p.data != nil && p.data.Protocol() == transport.UDP {
+			// Sequence gap: queue NACKs for the missing packets.
+			for seq := p.highestSeq + 1; seq < d.Seq; seq++ {
+				if _, ok := p.nackOutstanding[seq]; !ok {
+					p.nackOutstanding[seq] = 0
+				}
+			}
+			p.armNack()
+		}
+		if d.Seq > p.highestSeq {
+			p.highestSeq = d.Seq
+		}
+		p.recvSeqCount++
+		p.haveSeq[d.Seq] = d
+		p.gcSeqs()
+	}
+	p.assemble(d)
+}
+
+// NACK pacing: the first request goes out after a short debounce (so one
+// burst produces one NACK); unanswered requests are retried a bounded
+// number of times, as RDT did.
+const (
+	nackDelay    = 120 * time.Millisecond
+	nackRetry    = 350 * time.Millisecond
+	nackMaxTries = 4
+)
+
+func (p *Player) armNack() {
+	if p.nackTimer != nil {
+		return
+	}
+	p.nackTimer = p.cfg.Clock.After(nackDelay, p.flushNacks)
+}
+
+func (p *Player) flushNacks() {
+	p.nackTimer = nil
+	if p.state == "done" || p.data == nil {
+		return
+	}
+	var missing []uint32
+	for seq, tries := range p.nackOutstanding {
+		if _, arrived := p.haveSeq[seq]; arrived || tries >= nackMaxTries {
+			delete(p.nackOutstanding, seq)
+			continue
+		}
+		p.nackOutstanding[seq] = tries + 1
+		missing = append(missing, seq)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	for off := 0; off < len(missing); off += rdt.MaxNackSeqs {
+		end := off + rdt.MaxNackSeqs
+		if end > len(missing) {
+			end = len(missing)
+		}
+		pkt := &rdt.Packet{Kind: rdt.TypeNack, Nack: &rdt.Nack{
+			Stream: rdt.StreamVideo,
+			Seqs:   append([]uint32(nil), missing[off:end]...),
+		}}
+		p.data.Send(pkt, rdt.WireSize(pkt))
+	}
+	// Retry unanswered requests.
+	p.nackTimer = p.cfg.Clock.After(nackRetry, p.flushNacks)
+}
+
+// gcSeqs bounds the FEC window memory.
+func (p *Player) gcSeqs() {
+	const window = 512
+	if len(p.haveSeq) <= window {
+		return
+	}
+	cut := uint32(0)
+	if p.highestSeq > window {
+		cut = p.highestSeq - window
+	}
+	for seq := range p.haveSeq {
+		if seq < cut {
+			delete(p.haveSeq, seq)
+		}
+	}
+}
+
+func (p *Player) assemble(d *rdt.Data) {
+	key := uint64(d.Stream)<<32 | uint64(d.FrameIndex)
+	fc := d.FragCount
+	if fc == 0 {
+		fc = 1
+	}
+	pt, ok := p.partials[key]
+	if !ok {
+		pt = &partial{
+			mediaTime: time.Duration(d.MediaTime) * time.Millisecond,
+			video:     d.Stream == rdt.StreamVideo,
+			keyframe:  d.Flags&rdt.FlagKeyframe != 0,
+			encRate:   float64(d.EncRate),
+			index:     d.FrameIndex,
+			count:     fc,
+		}
+		p.partials[key] = pt
+	}
+	bit := uint16(1) << d.FragIndex
+	if pt.got&bit != 0 {
+		return // duplicate fragment
+	}
+	pt.got |= bit
+	pt.need++
+	pt.size += d.PayloadLen()
+	if pt.need >= pt.count {
+		delete(p.partials, key)
+		p.enqueueFrame(bufFrame{
+			mediaTime: pt.mediaTime,
+			arrived:   p.cfg.Clock.Now(),
+			video:     pt.video,
+			keyframe:  pt.keyframe,
+			encRate:   pt.encRate,
+			index:     pt.index,
+			size:      pt.size,
+		})
+	}
+}
+
+func (p *Player) enqueueFrame(f bufFrame) {
+	if f.encRate > 0 && f.video {
+		if p.curEncRate == 0 {
+			p.curEncRate = f.encRate
+			p.st.EncodedKbps = f.encRate
+			p.st.EncodedFPS = p.desc.FrameRateFor(f.encRate)
+		} else if f.encRate != p.curEncRate && f.index+1 >= p.nextVideoIdx {
+			// Only in-order frames mark a SureStream switch; retransmitted
+			// frames carry the encoding they were originally sent under.
+			p.curEncRate = f.encRate
+			p.st.Switches++
+		}
+	}
+	if f.mediaTime > p.bufEnd {
+		p.bufEnd = f.mediaTime
+	}
+	// Hopelessly late arrival while playing: drop. Mildly late frames are
+	// admitted and played late by the playout engine (visible as jitter).
+	if p.state == "playing" && f.mediaTime < p.playPos {
+		if f.video {
+			p.st.FramesDroppedLate++
+		}
+		return
+	}
+	p.frames.push(f)
+	if p.state == "playing" && p.frameTimer == nil {
+		// The playout engine was waiting for data (underrun grace period);
+		// new media restarts it.
+		p.scheduleNextFrame()
+		return
+	}
+	p.checkPlayable()
+}
+
+// onRepair reconstructs a single missing video packet in the repair group.
+// XOR parity over full packets recovers the missing packet exactly — header
+// and payload — so the reconstruction uses the authoritative metadata the
+// repair carries.
+func (p *Player) onRepair(r *rdt.Repair) {
+	if r.Stream != rdt.StreamVideo {
+		return
+	}
+	var missing []uint32
+	for seq := r.BaseSeq; seq < r.BaseSeq+uint32(r.Group); seq++ {
+		if _, ok := p.haveSeq[seq]; !ok {
+			missing = append(missing, seq)
+		}
+	}
+	if len(missing) != 1 {
+		return // zero missing: nothing to do; >1: unrecoverable by XOR
+	}
+	seq := missing[0]
+	m, ok := r.MetaFor(seq)
+	if !ok {
+		return
+	}
+	rec := &rdt.Data{
+		Stream:     rdt.StreamVideo,
+		Seq:        seq,
+		MediaTime:  m.MediaTime,
+		Flags:      m.Flags,
+		EncRate:    m.EncRate,
+		FrameIndex: m.FrameIndex,
+		FragIndex:  m.FragIndex,
+		FragCount:  m.FragCount,
+		PadLen:     int(m.Size),
+	}
+	p.recovered++
+	p.onDataPacket(rec)
+}
+
+// --- playout engine ---
+
+func (p *Player) bufferDepth() time.Duration {
+	if len(p.frames) == 0 {
+		return 0
+	}
+	return p.bufEnd - p.frames[0].mediaTime
+}
+
+// checkPlayable transitions out of (re)buffering when enough media is
+// queued.
+func (p *Player) checkPlayable() {
+	now := p.cfg.Clock.Now()
+	switch p.state {
+	case "buffering":
+		if p.bufferDepth() >= p.cfg.Preroll || (p.eos && len(p.frames) > 0) {
+			p.st.BufferingTime = now - p.buffStart
+			p.beginPlayout(now)
+		}
+	case "rebuffering":
+		stalled := now - p.rebufStart
+		if p.bufferDepth() >= rebufferTarget || stalled >= maxRebuffer || (p.eos && len(p.frames) > 0) {
+			p.st.RebufferTime += stalled
+			p.resumePlayout(now)
+		}
+	}
+}
+
+func (p *Player) beginPlayout(now time.Duration) {
+	p.state = "playing"
+	p.playStart = now
+	if len(p.frames) > 0 {
+		p.playPos = p.frames[0].mediaTime
+	}
+	p.mediaBase = now - p.playPos
+	// Re-arm the session end for the configured playout length.
+	if p.endAt != nil {
+		p.endAt.Cancel()
+	}
+	p.endAt = p.cfg.Clock.After(p.cfg.PlayFor, p.timeUp)
+	p.scheduleNextFrame()
+}
+
+func (p *Player) resumePlayout(now time.Duration) {
+	p.state = "playing"
+	if len(p.frames) > 0 {
+		p.playPos = p.frames[0].mediaTime
+	}
+	p.mediaBase = now - p.playPos
+	p.scheduleNextFrame()
+}
+
+func (p *Player) scheduleNextFrame() {
+	if p.frameTimer != nil {
+		p.frameTimer.Cancel()
+		p.frameTimer = nil
+	}
+	if p.state != "playing" {
+		return
+	}
+	now := p.cfg.Clock.Now()
+	if len(p.frames) == 0 {
+		if p.eos {
+			p.finish(nil)
+			return
+		}
+		// Nothing to play. Wait briefly for the next frame (it may merely
+		// be late); only a sustained drought is an underrun that halts
+		// playback for rebuffering.
+		if p.graceTimer == nil {
+			p.graceTimer = p.cfg.Clock.After(underrunGrace, p.underrun)
+		}
+		return
+	}
+	if p.graceTimer != nil {
+		p.graceTimer.Cancel()
+		p.graceTimer = nil
+	}
+	// A frame plays at its scheduled time, but never before it has aged
+	// recoveryLag: on a starved path this turns playout arrival-paced
+	// (steady-slow) while leaving room for loss recoveries to land.
+	due := p.mediaBase + p.frames[0].mediaTime
+	if earliest := p.frames[0].arrived + recoveryLag; earliest > due {
+		due = earliest
+	}
+	if due <= now {
+		p.playFrame(now)
+		return
+	}
+	p.frameTimer = p.cfg.Clock.After(due-now, func() {
+		p.frameTimer = nil
+		p.playFrame(p.cfg.Clock.Now())
+	})
+}
+
+// underrun fires when the buffer stayed empty through the grace window:
+// playback halts while the buffer refills (up to 20 s — Section II.B).
+func (p *Player) underrun() {
+	p.graceTimer = nil
+	if p.state != "playing" || len(p.frames) > 0 {
+		return
+	}
+	if p.eos {
+		p.finish(nil)
+		return
+	}
+	p.state = "rebuffering"
+	p.rebufStart = p.cfg.Clock.Now()
+	p.st.Rebuffers++
+	// A stalled stream that never refills is ended by the idle timer or the
+	// session end timer.
+}
+
+func (p *Player) playFrame(now time.Duration) {
+	if p.state != "playing" || len(p.frames) == 0 {
+		p.scheduleNextFrame()
+		return
+	}
+	f := p.frames.pop()
+	p.playPos = f.mediaTime
+	lateness := now - (p.mediaBase + f.mediaTime)
+	if lateness > lateWindow {
+		// Playout has fallen behind its clock: slip the clock rather than
+		// discard media. This is the player's controlled degradation — on a
+		// starved path playout becomes arrival-paced (steady but slow),
+		// which is the "slideshow" mode of sub-3-fps clips. The pacing
+		// itself comes from the recoveryLag floor in scheduleNextFrame; the
+		// slip only re-anchors the clock.
+		p.mediaBase += lateness
+		lateness = 0
+	}
+	if f.video {
+		// GOP decode-chain accounting in presentation order: a frame that
+		// never made it to its playout slot breaks the predictive chain,
+		// rendering later frames undisplayable until the next keyframe
+		// reaches the decoder — the amplification that turns modest packet
+		// loss into slideshow playback.
+		if p.videoIdxSeen && f.index > p.nextVideoIdx {
+			p.chainBroken = true
+		}
+		if f.index >= p.nextVideoIdx {
+			p.nextVideoIdx = f.index + 1
+			p.videoIdxSeen = true
+		}
+		if f.keyframe {
+			p.chainBroken = false
+		}
+		switch {
+		case p.chainBroken:
+			// Data arrived, but a lost reference frame upstream makes it
+			// undecodable.
+			p.st.FramesCorrupted++
+		case p.decimate():
+			p.st.FramesDroppedCPU++
+		default:
+			// The frame is displayed now — which for late frames is after
+			// its deadline, and for on-time frames after decode-time noise
+			// that grows with machine load.
+			at := now + p.decodeNoise()
+			p.playTimes = append(p.playTimes, at)
+			p.st.FramesPlayed++
+		}
+	}
+	p.scheduleNextFrame()
+}
+
+// decodeNoise models decode-time variance: near-zero on fast machines,
+// tens of milliseconds on saturated or memory-starved ones.
+func (p *Player) decodeNoise() time.Duration {
+	fps := p.st.EncodedFPS
+	if fps <= 0 {
+		fps = 15
+	}
+	w, h := p.frameDims()
+	util := p.cfg.CPU.utilization(w, h, fps)
+	sigma := 1.0 + 10*util*util // ms
+	if p.cfg.CPU.MemMB < 64 {
+		sigma += 12 // paging on low-memory machines
+	}
+	if p.cfg.DisableScalableVideo && util > 1 {
+		sigma *= 4 // erratic decode scheduling when overloaded
+	}
+	n := p.cfg.Rand.NormFloat64() * sigma
+	if n < 0 {
+		n = -n
+	}
+	return time.Duration(n * float64(time.Millisecond))
+}
+
+// decimate implements Scalable Video Technology: when the encoded rate
+// exceeds the machine's decode capacity, play 1 of every k frames.
+func (p *Player) decimate() bool {
+	fps := p.st.EncodedFPS
+	if fps <= 0 {
+		fps = 15
+	}
+	w, h := p.frameDims()
+	maxFPS := p.cfg.CPU.maxFPS(w, h)
+	if fps <= maxFPS {
+		p.decim = 0
+		return false
+	}
+	if p.cfg.DisableScalableVideo {
+		// Without Scalable Video the overloaded decoder sheds frames
+		// erratically rather than "in a controlled fashion".
+		return p.cfg.Rand.Float64() < 1-maxFPS/fps
+	}
+	k := int(fps/maxFPS + 0.999)
+	if k < 2 {
+		k = 2
+	}
+	p.decim = k
+	p.decimCount++
+	return p.decimCount%k != 0
+}
+
+func (p *Player) frameDims() (int, int) {
+	for _, e := range p.desc.Encodings {
+		if e.TotalKbps == p.curEncRate {
+			return e.Width, e.Height
+		}
+	}
+	return 320, 240
+}
+
+// --- feedback ---
+
+func (p *Player) sendReport() {
+	if p.state == "done" {
+		return
+	}
+	p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReport)
+	// Timeline sample (Figure 1): bandwidth and frame rate this second.
+	p.st.Timeline = append(p.st.Timeline, TimePoint{
+		T:    p.cfg.Clock.Now(),
+		Kbps: float64(p.intBytes) * 8 / 1000 / reportInterval.Seconds(),
+		FPS:  float64(p.st.FramesPlayed - p.lastTickFrames),
+	})
+	p.lastTickFrames = p.st.FramesPlayed
+	if p.data == nil {
+		return
+	}
+	// Interval accounting: packets expected and lost since the last report.
+	totalLost := p.lostPackets()
+	intLost := totalLost - p.lastRepLost
+	if intLost < 0 {
+		intLost = 0 // FEC recovered packets counted lost last interval
+	}
+	intExpected := int(p.highestSeq) - int(p.lastRepHighest)
+	if intExpected < 0 {
+		intExpected = 0
+	}
+	p.lastRepLost = totalLost
+	p.lastRepHighest = p.highestSeq
+	rate := float64(p.intBytes) * 8 / 1000 / reportInterval.Seconds()
+	p.intBytes = 0
+	var rttMs uint16
+	if p.ctl != nil && p.ctl.RTT() > 0 {
+		rttMs = uint16(p.ctl.RTT().Milliseconds())
+	}
+	rep := &rdt.Packet{Kind: rdt.TypeReport, Report: &rdt.Report{
+		Expected: uint32(intExpected),
+		Lost:     uint32(intLost),
+		RateKbps: clampU16(rate),
+		JitterMs: clampU16(p.currentJitterMs()),
+		BufferMs: clampU16(p.bufferDepth().Seconds() * 1000),
+		RTTMs:    rttMs,
+	}}
+	p.data.Send(rep, rdt.WireSize(rep))
+	bs := &rdt.Packet{Kind: rdt.TypeBufferState, BufferState: &rdt.BufferState{
+		Ms:     uint32(p.bufferDepth().Milliseconds()),
+		Target: uint32(p.cfg.Preroll.Milliseconds()),
+	}}
+	p.data.Send(bs, rdt.WireSize(bs))
+}
+
+func clampU16(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v)
+}
+
+func (p *Player) lostPackets() int {
+	expected := int(p.highestSeq) + 1
+	lost := expected - p.recvSeqCount - p.recovered
+	if lost < 0 {
+		lost = 0
+	}
+	return lost
+}
+
+func (p *Player) currentJitterMs() float64 {
+	n := len(p.playTimes)
+	if n < 3 {
+		return 0
+	}
+	window := p.playTimes
+	if n > 40 {
+		window = p.playTimes[n-40:]
+	}
+	return jitterOf(window)
+}
+
+// jitterOf computes the standard deviation of inter-frame playout gaps in
+// milliseconds — the paper's jitter metric.
+func jitterOf(times []time.Duration) float64 {
+	if len(times) < 3 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, float64((times[i]-times[i-1]).Microseconds())/1000)
+	}
+	return stats.StdDev(gaps)
+}
+
+// --- session end ---
+
+func (p *Player) timeUp() { p.finish(nil) }
+
+func (p *Player) touchIdle() {
+	if p.idle != nil {
+		p.idle.Cancel()
+	}
+	if p.state == "done" {
+		return
+	}
+	p.idle = p.cfg.Clock.After(idleTimeout, func() {
+		p.finish(errors.New("player: session idle timeout"))
+	})
+}
+
+func (p *Player) finish(err error) {
+	if p.doneCalled {
+		return
+	}
+	p.doneCalled = true
+	prevState := p.state
+	p.state = "done"
+	now := p.cfg.Clock.Now()
+
+	// Account a stall in progress.
+	if prevState == "rebuffering" {
+		p.st.RebufferTime += now - p.rebufStart
+	}
+
+	for _, t := range []vclock.Timer{p.endAt, p.frameTimer, p.graceTimer, p.idle, p.reportTick, p.nackTimer} {
+		if t != nil {
+			t.Cancel()
+		}
+	}
+	// Polite teardown when the control channel is up.
+	if p.ctl != nil {
+		req := rtsp.NewRequest(rtsp.MethodTeardown, p.cfg.URL, 0)
+		req.Set("Session", p.sessID)
+		p.cseq++
+		req.CSeq = p.cseq
+		p.ctl.Send(req, req.WireSize())
+		p.ctl.Close()
+	}
+	if p.data != nil && p.dataIsMe {
+		p.data.Close()
+	}
+
+	p.finalizeStats(now, err)
+	if err != nil && !errors.Is(err, ErrUnavailable) {
+		p.st.Failed = true
+		p.st.FailReason = err.Error()
+	}
+	if p.cfg.OnDone != nil {
+		p.cfg.OnDone(p.st, err)
+	}
+}
+
+func (p *Player) finalizeStats(now time.Duration, err error) {
+	st := p.st
+	if p.playStart > 0 {
+		st.PlayDuration = now - p.playStart
+	}
+	if st.PlayDuration > 0 {
+		st.MeasuredFPS = float64(st.FramesPlayed) / st.PlayDuration.Seconds()
+	}
+	if p.lastRecvAt > p.firstRecvAt {
+		st.MeasuredKbps = float64(p.bytesRecv) * 8 / 1000 / (p.lastRecvAt - p.firstRecvAt).Seconds()
+	}
+	st.JitterMs = jitterOf(p.playTimes)
+	for i := 1; i < len(p.playTimes); i++ {
+		if gap := p.playTimes[i] - p.playTimes[i-1]; gap > 500*time.Millisecond {
+			st.PlayoutGaps = append(st.PlayoutGaps, float64(gap.Milliseconds()))
+		}
+	}
+	st.FramesLost = p.lostPackets()
+	fps := st.MeasuredFPS
+	w, h := p.frameDims()
+	util := p.cfg.CPU.utilization(w, h, fps)
+	if util > 1 {
+		util = 1
+	}
+	st.CPUUtilization = util
+	// Keep the frame list from growing without bound for long sessions; the
+	// stats are final now.
+	sort.Slice(p.playTimes, func(i, j int) bool { return p.playTimes[i] < p.playTimes[j] })
+}

@@ -1,0 +1,204 @@
+// Package ratecontrol implements the application-layer congestion control a
+// streaming server applies to its UDP data flow. The paper observes that
+// RealVideo's UDP traffic "appears to respond to network congestion" with
+// bandwidth "comparable to that of TCP over the duration of the clip", while
+// "perhaps not quite TCP-friendly" (Figures 18, 24; Section VII).
+//
+// Three controllers are provided:
+//
+//   - AIMD: additive-increase / multiplicative-decrease, the classic shape.
+//   - TFRC: the equation-based controller of Floyd, Handley, Padhye & Widmer
+//     [FHPW00], which the paper cites as the TCP-friendly reference point.
+//     It produces a smoother rate than AIMD — the behaviour RealNetworks'
+//     own control approximates.
+//   - Unresponsive: constant-rate blasting, included as the ablation
+//     baseline for the "congestion collapse" concern [FF98].
+//
+// Controllers consume periodic receiver feedback and emit an allowed send
+// rate in Kbps.
+package ratecontrol
+
+import (
+	"math"
+	"time"
+)
+
+// Feedback summarizes one receiver report interval.
+type Feedback struct {
+	// LossFraction is the fraction of packets lost in the interval, in
+	// [0, 1], measured before FEC repair.
+	LossFraction float64
+	// RTT is the current round-trip estimate; zero means unknown.
+	RTT time.Duration
+	// RecvRateKbps is the rate the receiver measured arriving.
+	RecvRateKbps float64
+}
+
+// Controller adjusts an allowed sending rate from feedback.
+type Controller interface {
+	// Name identifies the controller in ablation output.
+	Name() string
+	// OnFeedback folds one report into the controller state.
+	OnFeedback(fb Feedback)
+	// RateKbps returns the current allowed sending rate.
+	RateKbps() float64
+}
+
+// Limits clamp every controller's output to the sane streaming range.
+type Limits struct {
+	MinKbps float64
+	MaxKbps float64
+}
+
+// DefaultLimits spans the encodings RealProducer targeted in 2001: 20 Kbps
+// modem streams up to 450 Kbps broadband streams.
+func DefaultLimits() Limits { return Limits{MinKbps: 10, MaxKbps: 1000} }
+
+func (l Limits) clamp(r float64) float64 {
+	if r < l.MinKbps {
+		return l.MinKbps
+	}
+	if r > l.MaxKbps {
+		return l.MaxKbps
+	}
+	return r
+}
+
+// AIMD is additive-increase multiplicative-decrease on the send rate.
+type AIMD struct {
+	lim     Limits
+	rate    float64
+	IncKbps float64 // additive step per loss-free report
+	DecMult float64 // multiplicative factor on loss
+}
+
+// NewAIMD returns an AIMD controller starting at startKbps.
+func NewAIMD(startKbps float64, lim Limits) *AIMD {
+	return &AIMD{lim: lim, rate: lim.clamp(startKbps), IncKbps: 10, DecMult: 0.5}
+}
+
+// Name implements Controller.
+func (a *AIMD) Name() string { return "aimd" }
+
+// OnFeedback implements Controller.
+func (a *AIMD) OnFeedback(fb Feedback) {
+	if fb.LossFraction > 0.01 {
+		a.rate = a.lim.clamp(a.rate * a.DecMult)
+		return
+	}
+	a.rate = a.lim.clamp(a.rate + a.IncKbps)
+}
+
+// RateKbps implements Controller.
+func (a *AIMD) RateKbps() float64 { return a.rate }
+
+// TFRC is the TCP throughput-equation controller of [FHPW00]. The allowed
+// rate is the equation's estimate of what a TCP flow would achieve under the
+// measured loss event rate and RTT, smoothed over reports.
+type TFRC struct {
+	lim        Limits
+	rate       float64
+	PacketSize int // bytes; s in the equation
+	// lossEMA is the exponentially averaged loss event rate (p).
+	lossEMA float64
+	// rttEMA is the smoothed RTT in seconds.
+	rttEMA float64
+	seen   bool
+	// everLost marks a session that has experienced loss; cleanStreak
+	// counts loss-free reports since. Probing holds at the receive rate for
+	// a while after loss (so a saturated link is not pushed straight back
+	// into overflow), then resumes so cleared congestion is rediscovered.
+	everLost    bool
+	cleanStreak int
+}
+
+// NewTFRC returns a TFRC controller starting at startKbps with the given
+// nominal packet size.
+func NewTFRC(startKbps float64, packetSize int, lim Limits) *TFRC {
+	if packetSize <= 0 {
+		packetSize = 1000
+	}
+	return &TFRC{lim: lim, rate: lim.clamp(startKbps), PacketSize: packetSize}
+}
+
+// Name implements Controller.
+func (t *TFRC) Name() string { return "tfrc" }
+
+// Throughput evaluates the TCP throughput equation (bytes/sec) for packet
+// size s (bytes), round-trip r (seconds) and loss event rate p.
+//
+//	X = s / (r*sqrt(2bp/3) + t_RTO * (3*sqrt(3bp/8)) * p * (1+32p^2))
+//
+// with b = 1 and t_RTO = 4r, per the TFRC specification.
+func Throughput(s float64, r float64, p float64) float64 {
+	if p <= 0 || r <= 0 {
+		return math.Inf(1)
+	}
+	tRTO := 4 * r
+	denom := r*math.Sqrt(2*p/3) + tRTO*3*math.Sqrt(3*p/8)*p*(1+32*p*p)
+	return s / denom
+}
+
+// OnFeedback implements Controller.
+func (t *TFRC) OnFeedback(fb Feedback) {
+	const alpha = 0.25 // EMA weight for new samples
+	if !t.seen {
+		t.lossEMA = fb.LossFraction
+		t.rttEMA = fb.RTT.Seconds()
+		t.seen = true
+	} else {
+		t.lossEMA = (1-alpha)*t.lossEMA + alpha*fb.LossFraction
+		if fb.RTT > 0 {
+			t.rttEMA = (1-alpha)*t.rttEMA + alpha*fb.RTT.Seconds()
+		}
+	}
+	rtt := t.rttEMA
+	if rtt <= 0 {
+		rtt = 0.1 // no estimate yet; assume 100 ms
+	}
+	if t.lossEMA < 1e-4 {
+		// No loss events: probe upward, bounded just above what the
+		// receiver demonstrates it can absorb. A wider probe cap (the
+		// classic 2x) sawtooths into queue-overflow bursts at coarse
+		// feedback intervals, which GOP loss-amplification turns into
+		// seconds of corrupted video.
+		t.cleanStreak++
+		probe := 1.1
+		if t.everLost && t.cleanStreak < 10 {
+			probe = 1.0 // post-loss hold: let the queue drain
+		}
+		target := t.rate * 1.25
+		if fb.RecvRateKbps > 0 && target > probe*fb.RecvRateKbps {
+			target = probe * fb.RecvRateKbps
+		}
+		t.rate = t.lim.clamp(target)
+		return
+	}
+	t.everLost = true
+	t.cleanStreak = 0
+	x := Throughput(float64(t.PacketSize), rtt, t.lossEMA) // bytes/sec
+	kbps := x * 8 / 1000
+	// Bound by what the receiver demonstrably absorbs (TFRC's X_recv rule):
+	// the equation alone overshoots badly on low-capacity, shallow-buffer
+	// paths whose loss rate stays moderate.
+	if fb.RecvRateKbps > 0 && kbps > fb.RecvRateKbps {
+		kbps = fb.RecvRateKbps
+	}
+	// Smooth the transition: move halfway to the equation's rate.
+	t.rate = t.lim.clamp((t.rate + kbps) / 2)
+}
+
+// RateKbps implements Controller.
+func (t *TFRC) RateKbps() float64 { return t.rate }
+
+// Unresponsive ignores all feedback — the congestion-collapse strawman.
+type Unresponsive struct{ Kbps float64 }
+
+// Name implements Controller.
+func (u *Unresponsive) Name() string { return "unresponsive" }
+
+// OnFeedback implements Controller.
+func (u *Unresponsive) OnFeedback(Feedback) {}
+
+// RateKbps implements Controller.
+func (u *Unresponsive) RateKbps() float64 { return u.Kbps }

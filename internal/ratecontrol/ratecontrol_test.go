@@ -1,0 +1,165 @@
+package ratecontrol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAIMDAdditiveIncrease(t *testing.T) {
+	c := NewAIMD(100, DefaultLimits())
+	for i := 0; i < 5; i++ {
+		c.OnFeedback(Feedback{LossFraction: 0, RecvRateKbps: 1000})
+	}
+	if c.RateKbps() != 100+5*c.IncKbps {
+		t.Fatalf("rate=%v", c.RateKbps())
+	}
+}
+
+func TestAIMDMultiplicativeDecrease(t *testing.T) {
+	c := NewAIMD(200, DefaultLimits())
+	c.OnFeedback(Feedback{LossFraction: 0.1})
+	if c.RateKbps() != 100 {
+		t.Fatalf("rate=%v want 100", c.RateKbps())
+	}
+}
+
+func TestAIMDIgnoresTinyLoss(t *testing.T) {
+	c := NewAIMD(200, DefaultLimits())
+	c.OnFeedback(Feedback{LossFraction: 0.005})
+	if c.RateKbps() <= 200 {
+		t.Fatal("sub-threshold loss should not halve the rate")
+	}
+}
+
+func TestLimitsClamp(t *testing.T) {
+	lim := Limits{MinKbps: 50, MaxKbps: 100}
+	c := NewAIMD(10, lim)
+	if c.RateKbps() != 50 {
+		t.Fatal("start below min not clamped")
+	}
+	for i := 0; i < 50; i++ {
+		c.OnFeedback(Feedback{})
+	}
+	if c.RateKbps() != 100 {
+		t.Fatalf("rate=%v exceeded max", c.RateKbps())
+	}
+	for i := 0; i < 50; i++ {
+		c.OnFeedback(Feedback{LossFraction: 1})
+	}
+	if c.RateKbps() != 50 {
+		t.Fatalf("rate=%v fell under min", c.RateKbps())
+	}
+}
+
+func TestThroughputEquationShape(t *testing.T) {
+	// More loss -> less throughput; longer RTT -> less throughput.
+	x1 := Throughput(1000, 0.1, 0.01)
+	x2 := Throughput(1000, 0.1, 0.05)
+	if x2 >= x1 {
+		t.Fatalf("throughput should fall with loss: %v vs %v", x1, x2)
+	}
+	x3 := Throughput(1000, 0.4, 0.01)
+	if x3 >= x1 {
+		t.Fatalf("throughput should fall with RTT: %v vs %v", x1, x3)
+	}
+	if !math.IsInf(Throughput(1000, 0.1, 0), 1) {
+		t.Fatal("zero loss should be unbounded")
+	}
+}
+
+// Property: the TFRC equation is monotone decreasing in p and r.
+func TestPropertyThroughputMonotone(t *testing.T) {
+	f := func(pRaw, rRaw uint8) bool {
+		p := 0.001 + float64(pRaw%100)/200 // 0.001..0.5
+		r := 0.02 + float64(rRaw%100)/100  // 20ms..1s
+		base := Throughput(1000, r, p)
+		return Throughput(1000, r, p*1.5) <= base && Throughput(1000, r*1.5, p) <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTFRCThrottlesOnLoss(t *testing.T) {
+	c := NewTFRC(300, 1000, DefaultLimits())
+	for i := 0; i < 10; i++ {
+		c.OnFeedback(Feedback{LossFraction: 0.15, RTT: 200 * time.Millisecond, RecvRateKbps: 100})
+	}
+	if c.RateKbps() > 150 {
+		t.Fatalf("15%% loss left rate at %v", c.RateKbps())
+	}
+}
+
+func TestTFRCProbesWhenClean(t *testing.T) {
+	c := NewTFRC(50, 1000, DefaultLimits())
+	for i := 0; i < 10; i++ {
+		c.OnFeedback(Feedback{LossFraction: 0, RTT: 100 * time.Millisecond, RecvRateKbps: c.RateKbps()})
+	}
+	if c.RateKbps() <= 50 {
+		t.Fatal("loss-free feedback should grow the rate")
+	}
+}
+
+func TestTFRCRecvRateBoundsProbe(t *testing.T) {
+	c := NewTFRC(100, 1000, DefaultLimits())
+	// The receiver only ever sees 60 Kbps: probing must not run away.
+	for i := 0; i < 20; i++ {
+		c.OnFeedback(Feedback{LossFraction: 0, RTT: 100 * time.Millisecond, RecvRateKbps: 60})
+	}
+	if c.RateKbps() > 70 {
+		t.Fatalf("probe escaped receive-rate bound: %v", c.RateKbps())
+	}
+}
+
+func TestTFRCRecvRateBoundsEquation(t *testing.T) {
+	c := NewTFRC(300, 1000, DefaultLimits())
+	// Moderate loss with long RTT: the raw equation would allow far more
+	// than the 30 Kbps the receiver actually sees (the modem case).
+	for i := 0; i < 20; i++ {
+		c.OnFeedback(Feedback{LossFraction: 0.02, RTT: 400 * time.Millisecond, RecvRateKbps: 30})
+	}
+	if c.RateKbps() > 45 {
+		t.Fatalf("equation escaped receive-rate bound: %v", c.RateKbps())
+	}
+}
+
+func TestTFRCRTTDefaultsWhenUnknown(t *testing.T) {
+	c := NewTFRC(100, 1000, DefaultLimits())
+	c.OnFeedback(Feedback{LossFraction: 0.05}) // no RTT, no recv rate
+	if r := c.RateKbps(); r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("rate degenerate without RTT: %v", r)
+	}
+}
+
+func TestUnresponsiveIgnoresEverything(t *testing.T) {
+	c := &Unresponsive{Kbps: 300}
+	c.OnFeedback(Feedback{LossFraction: 0.9, RecvRateKbps: 1})
+	if c.RateKbps() != 300 {
+		t.Fatal("unresponsive controller responded")
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	lim := DefaultLimits()
+	for _, tc := range []struct {
+		c    Controller
+		want string
+	}{
+		{NewAIMD(100, lim), "aimd"},
+		{NewTFRC(100, 1000, lim), "tfrc"},
+		{&Unresponsive{}, "unresponsive"},
+	} {
+		if tc.c.Name() != tc.want {
+			t.Errorf("name=%q want %q", tc.c.Name(), tc.want)
+		}
+	}
+}
+
+func TestTFRCDefaultPacketSize(t *testing.T) {
+	c := NewTFRC(100, 0, DefaultLimits())
+	if c.PacketSize != 1000 {
+		t.Fatalf("default packet size=%d", c.PacketSize)
+	}
+}

@@ -1,0 +1,51 @@
+package rtsp
+
+import (
+	"errors"
+
+	"realtracer/internal/packet"
+)
+
+// PNA is the legacy Progressive Networks Audio request kept for backward
+// compatibility with pre-RTSP RealServers (paper Section II.A). Only the
+// initial clip request is modeled: nearly all clips in the study used RTSP,
+// and the session layer falls back to RTSP immediately when a PNA probe is
+// refused.
+
+// PNARequest asks a legacy server to start streaming a clip.
+type PNARequest struct {
+	ClipURL   string
+	ClientID  string
+	Bandwidth uint32 // client's maximum bit rate, Kbps
+}
+
+const pnaMagic = 0x504E // "PN"
+
+// MarshalPNA encodes the request in the legacy binary format.
+func MarshalPNA(r *PNARequest) []byte {
+	w := packet.NewWriter(16 + len(r.ClipURL) + len(r.ClientID))
+	w.U16(pnaMagic)
+	w.U32(r.Bandwidth)
+	w.String16(r.ClipURL)
+	w.String16(r.ClientID)
+	return w.Bytes()
+}
+
+// ErrNotPNA is returned when the buffer does not begin with the PNA magic.
+var ErrNotPNA = errors.New("rtsp: not a PNA request")
+
+// ParsePNA decodes a legacy request.
+func ParsePNA(b []byte) (*PNARequest, error) {
+	r := packet.NewReader(b)
+	if r.U16() != pnaMagic {
+		return nil, ErrNotPNA
+	}
+	req := &PNARequest{}
+	req.Bandwidth = r.U32()
+	req.ClipURL = r.String16()
+	req.ClientID = r.String16()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}

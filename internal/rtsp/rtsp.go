@@ -1,0 +1,289 @@
+// Package rtsp implements the subset of the Real Time Streaming Protocol
+// [SRL98] that a RealServer/RealPlayer session uses: DESCRIBE, SETUP, PLAY,
+// PAUSE, TEARDOWN, OPTIONS and SET_PARAMETER requests with CSeq-matched
+// responses, in the standard text wire format. The control connection always
+// runs over TCP (paper Section II.A); the negotiated data connection is TCP
+// or UDP.
+//
+// A minimal PNA (Progressive Networks Audio) request stub is included for
+// the backward-compatibility path older RealServers kept alive.
+package rtsp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Version is the protocol version emitted on the wire.
+const Version = "RTSP/1.0"
+
+// Methods used by the session layer.
+const (
+	MethodOptions      = "OPTIONS"
+	MethodDescribe     = "DESCRIBE"
+	MethodSetup        = "SETUP"
+	MethodPlay         = "PLAY"
+	MethodPause        = "PAUSE"
+	MethodTeardown     = "TEARDOWN"
+	MethodSetParameter = "SET_PARAMETER"
+)
+
+// Status codes used by the session layer.
+const (
+	StatusOK            = 200
+	StatusNotFound      = 404
+	StatusUnavailable   = 453 // "Not Enough Bandwidth" repurposed: clip temporarily unavailable
+	StatusInternalError = 500
+)
+
+// StatusText returns the reason phrase for a status code.
+func StatusText(code int) string {
+	switch code {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusUnavailable:
+		return "Not Enough Bandwidth"
+	case StatusInternalError:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}
+
+// Message is an RTSP request or response.
+type Message struct {
+	// Request is true for requests; false for responses.
+	Request bool
+	// Method and URL are set on requests.
+	Method string
+	URL    string
+	// Status and Reason are set on responses.
+	Status int
+	Reason string
+	// CSeq pairs responses with requests.
+	CSeq int
+	// Header holds the remaining headers (canonicalized keys).
+	Header map[string]string
+	// Body is the optional payload (e.g. a clip description).
+	Body []byte
+}
+
+// NewRequest builds a request message.
+func NewRequest(method, url string, cseq int) *Message {
+	return &Message{Request: true, Method: method, URL: url, CSeq: cseq, Header: map[string]string{}}
+}
+
+// NewResponse builds a response to req with the given status.
+func NewResponse(req *Message, status int) *Message {
+	return &Message{Status: status, Reason: StatusText(status), CSeq: req.CSeq, Header: map[string]string{}}
+}
+
+// Set sets a header value.
+func (m *Message) Set(key, value string) {
+	if m.Header == nil {
+		m.Header = map[string]string{}
+	}
+	m.Header[canonical(key)] = value
+}
+
+// Get returns a header value or "".
+func (m *Message) Get(key string) string { return m.Header[canonical(key)] }
+
+// GetInt parses a header as an integer, returning def when absent or
+// malformed.
+func (m *Message) GetInt(key string, def int) int {
+	v := m.Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func canonical(key string) string {
+	parts := strings.Split(strings.ToLower(key), "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "-")
+}
+
+// Marshal renders the message in wire format.
+func (m *Message) Marshal() []byte {
+	var b bytes.Buffer
+	if m.Request {
+		fmt.Fprintf(&b, "%s %s %s\r\n", m.Method, m.URL, Version)
+	} else {
+		reason := m.Reason
+		if reason == "" {
+			reason = StatusText(m.Status)
+		}
+		fmt.Fprintf(&b, "%s %d %s\r\n", Version, m.Status, reason)
+	}
+	fmt.Fprintf(&b, "CSeq: %d\r\n", m.CSeq)
+	if len(m.Body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(m.Body))
+	}
+	keys := make([]string, 0, len(m.Header))
+	for k := range m.Header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, m.Header[k])
+	}
+	b.WriteString("\r\n")
+	b.Write(m.Body)
+	return b.Bytes()
+}
+
+// Parse errors.
+var (
+	ErrMalformed     = errors.New("rtsp: malformed message")
+	ErrTruncatedBody = errors.New("rtsp: body shorter than Content-Length")
+)
+
+// Parse decodes a wire message produced by Marshal (or any conforming RTSP
+// peer).
+func Parse(data []byte) (*Message, error) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, ErrMalformed
+	}
+	line = strings.TrimRight(line, "\r\n")
+	m := &Message{Header: map[string]string{}}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 3 {
+		return nil, ErrMalformed
+	}
+	if strings.HasPrefix(parts[0], "RTSP/") {
+		m.Request = false
+		status, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, ErrMalformed
+		}
+		m.Status = status
+		m.Reason = parts[2]
+	} else {
+		m.Request = true
+		m.Method = parts[0]
+		m.URL = parts[1]
+		if !strings.HasPrefix(parts[2], "RTSP/") {
+			return nil, ErrMalformed
+		}
+	}
+	contentLength := 0
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return nil, ErrMalformed
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		i := strings.Index(h, ":")
+		if i < 0 {
+			return nil, ErrMalformed
+		}
+		key := canonical(strings.TrimSpace(h[:i]))
+		val := strings.TrimSpace(h[i+1:])
+		switch key {
+		case "Cseq":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, ErrMalformed
+			}
+			m.CSeq = n
+		case "Content-Length":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, ErrMalformed
+			}
+			contentLength = n
+		default:
+			m.Header[key] = val
+		}
+	}
+	if contentLength > 0 {
+		body := make([]byte, contentLength)
+		n, _ := r.Read(body)
+		for n < contentLength {
+			more, err := r.Read(body[n:])
+			if more == 0 || err != nil {
+				return nil, ErrTruncatedBody
+			}
+			n += more
+		}
+		m.Body = body
+	}
+	return m, nil
+}
+
+// WireSize returns the marshaled size without retaining the encoding.
+func (m *Message) WireSize() int { return len(m.Marshal()) }
+
+// Transport header helpers: the SETUP exchange negotiates the data channel.
+
+// TransportSpec is the parsed Transport header of a SETUP exchange.
+type TransportSpec struct {
+	// Protocol is "tcp" or "udp" for the data connection.
+	Protocol string
+	// ClientDataAddr is where UDP data should be sent (client's data port).
+	ClientDataAddr string
+	// ServerDataAddr is the server's data source address (response only).
+	ServerDataAddr string
+}
+
+// Format renders the spec as a Transport header value.
+func (t TransportSpec) Format() string {
+	var parts []string
+	parts = append(parts, "proto="+t.Protocol)
+	if t.ClientDataAddr != "" {
+		parts = append(parts, "client_addr="+t.ClientDataAddr)
+	}
+	if t.ServerDataAddr != "" {
+		parts = append(parts, "server_addr="+t.ServerDataAddr)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseTransport parses a Transport header value.
+func ParseTransport(v string) (TransportSpec, error) {
+	var t TransportSpec
+	if v == "" {
+		return t, errors.New("rtsp: empty Transport header")
+	}
+	for _, part := range strings.Split(v, ";") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return t, fmt.Errorf("rtsp: bad Transport item %q", part)
+		}
+		switch kv[0] {
+		case "proto":
+			t.Protocol = kv[1]
+		case "client_addr":
+			t.ClientDataAddr = kv[1]
+		case "server_addr":
+			t.ServerDataAddr = kv[1]
+		}
+	}
+	if t.Protocol != "tcp" && t.Protocol != "udp" {
+		return t, fmt.Errorf("rtsp: unknown data protocol %q", t.Protocol)
+	}
+	return t, nil
+}

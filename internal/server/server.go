@@ -1,0 +1,304 @@
+// Package server implements the RealServer analog: an RTSP-controlled
+// streaming server that serves SureStream-encoded clips over TCP or UDP
+// data connections.
+//
+// Behaviours reproduced from the paper (Section II):
+//
+//   - two connections per session: an RTSP control connection (always TCP)
+//     and a separate data connection (TCP or UDP, negotiated in SETUP);
+//   - SureStream: the server picks the best encoding for the client's
+//     stated bandwidth and switches streams mid-playout as conditions
+//     change ("switching to a lower bandwidth stream during network
+//     congestion and then back ... when congestion clears");
+//   - application-layer congestion control on UDP data flows, driven by
+//     receiver reports (internal/ratecontrol);
+//   - error-correction packets on lossy UDP flows ("special packets that
+//     correct errors are sent to reconstruct the lost data");
+//   - a clip-availability fault model: on average about 10 % of clip
+//     requests in the study found the clip temporarily unavailable
+//     (Figure 10), with per-server rates varying.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"realtracer/internal/media"
+	"realtracer/internal/ratecontrol"
+	"realtracer/internal/rdt"
+	"realtracer/internal/rtsp"
+	"realtracer/internal/session"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Clock   vclock.Clock
+	Net     session.Net
+	Library *media.Library
+	// Rand drives the availability fault model. Required.
+	Rand *rand.Rand
+	// Unavailability is the probability a DESCRIBE finds the clip
+	// temporarily unavailable (Figure 10). Typical servers: 0.03-0.20.
+	Unavailability float64
+	// SureStream enables mid-playout stream switching (ablation knob;
+	// default on via New).
+	SureStream bool
+	// FEC enables repair packets on UDP flows (ablation knob).
+	FEC bool
+	// NewController builds the UDP rate controller for a session; nil means
+	// TFRC with default limits.
+	NewController func(startKbps float64) ratecontrol.Controller
+	// BufferAhead is how much media the server tries to keep buffered ahead
+	// of the client's playout (drives the initial burst). Default 12 s.
+	BufferAhead time.Duration
+	// ControlPort etc. default to the session package's well-known ports.
+	ControlPort, DataTCPPort, DataUDPPort int
+}
+
+func (c *Config) fillDefaults() {
+	if c.BufferAhead <= 0 {
+		c.BufferAhead = 12 * time.Second
+	}
+	if c.ControlPort == 0 {
+		c.ControlPort = session.ControlPort
+	}
+	if c.DataTCPPort == 0 {
+		c.DataTCPPort = session.DataTCPPort
+	}
+	if c.DataUDPPort == 0 {
+		c.DataUDPPort = session.DataUDPPort
+	}
+	if c.NewController == nil {
+		c.NewController = func(startKbps float64) ratecontrol.Controller {
+			return ratecontrol.NewTFRC(startKbps, 1000, ratecontrol.DefaultLimits())
+		}
+	}
+}
+
+// Server is one streaming-server instance.
+type Server struct {
+	cfg Config
+
+	sessions   map[string]*streamSession // by session ID
+	byDataAddr map[string]*streamSession // UDP demux by client data address
+	udpPort    session.DataPort
+	stops      []func()
+	nextID     int
+
+	// Counters for Figure 10 and diagnostics.
+	describes   uint64
+	unavailable uint64
+	played      uint64
+	tornDown    uint64
+}
+
+// New builds a Server with SureStream and FEC enabled unless the caller
+// turned them off explicitly after construction via the Config it passed.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{
+		cfg:        cfg,
+		sessions:   make(map[string]*streamSession),
+		byDataAddr: make(map[string]*streamSession),
+	}
+}
+
+// Start binds the control and data ports.
+func (s *Server) Start() error {
+	stopCtl, err := s.cfg.Net.ListenTCP(s.cfg.ControlPort, s.acceptControl)
+	if err != nil {
+		return fmt.Errorf("server: control listen: %w", err)
+	}
+	s.stops = append(s.stops, stopCtl)
+	stopData, err := s.cfg.Net.ListenTCP(s.cfg.DataTCPPort, s.acceptDataTCP)
+	if err != nil {
+		return fmt.Errorf("server: data listen: %w", err)
+	}
+	s.stops = append(s.stops, stopData)
+	udp, err := s.cfg.Net.ListenUDP(s.cfg.DataUDPPort, s.onUDPData)
+	if err != nil {
+		return fmt.Errorf("server: udp listen: %w", err)
+	}
+	s.udpPort = udp
+	s.stops = append(s.stops, func() { udp.Close() })
+	return nil
+}
+
+// Stop tears everything down.
+func (s *Server) Stop() {
+	for _, stop := range s.stops {
+		stop()
+	}
+	s.stops = nil
+	for _, sess := range s.sessions {
+		sess.stop()
+	}
+}
+
+// Counters returns (describes, unavailable, played, toredown) counts.
+func (s *Server) Counters() (describes, unavailable, played, torndown uint64) {
+	return s.describes, s.unavailable, s.played, s.tornDown
+}
+
+// acceptControl handles a new RTSP control connection. One control
+// connection may carry several sequential sessions (the playlist pattern).
+func (s *Server) acceptControl(conn transport.Conn) {
+	cc := &controlConn{srv: s, conn: conn}
+	conn.SetReceiver(cc.onMessage)
+}
+
+type controlConn struct {
+	srv  *Server
+	conn transport.Conn
+	sess *streamSession // session most recently SETUP on this connection
+}
+
+func (cc *controlConn) reply(m *rtsp.Message) {
+	cc.conn.Send(m, m.WireSize())
+}
+
+func (cc *controlConn) onMessage(payload any, _ int) {
+	req, ok := payload.(*rtsp.Message)
+	if !ok || !req.Request {
+		return
+	}
+	s := cc.srv
+	switch req.Method {
+	case rtsp.MethodOptions:
+		resp := rtsp.NewResponse(req, rtsp.StatusOK)
+		resp.Set("Public", "DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN, SET_PARAMETER")
+		cc.reply(resp)
+
+	case rtsp.MethodDescribe:
+		s.describes++
+		clip := s.cfg.Library.Lookup(req.URL)
+		if clip == nil {
+			cc.reply(rtsp.NewResponse(req, rtsp.StatusNotFound))
+			return
+		}
+		if s.cfg.Rand.Float64() < s.cfg.Unavailability {
+			s.unavailable++
+			cc.reply(rtsp.NewResponse(req, rtsp.StatusUnavailable))
+			return
+		}
+		resp := rtsp.NewResponse(req, rtsp.StatusOK)
+		resp.Body = session.DescFromClip(clip).Marshal()
+		cc.reply(resp)
+
+	case rtsp.MethodSetup:
+		clip := s.cfg.Library.Lookup(req.URL)
+		if clip == nil {
+			cc.reply(rtsp.NewResponse(req, rtsp.StatusNotFound))
+			return
+		}
+		spec, err := rtsp.ParseTransport(req.Get("Transport"))
+		if err != nil {
+			cc.reply(rtsp.NewResponse(req, rtsp.StatusInternalError))
+			return
+		}
+		maxKbps := float64(req.GetInt("Bandwidth", 300))
+		s.nextID++
+		id := fmt.Sprintf("sess-%d", s.nextID)
+		sess := newStreamSession(s, id, clip, spec, maxKbps, cc)
+		s.sessions[id] = sess
+		cc.sess = sess
+		if spec.Protocol == "udp" && spec.ClientDataAddr != "" {
+			s.byDataAddr[spec.ClientDataAddr] = sess
+		}
+		resp := rtsp.NewResponse(req, rtsp.StatusOK)
+		resp.Set("Session", id)
+		out := rtsp.TransportSpec{Protocol: spec.Protocol}
+		if spec.Protocol == "udp" {
+			out.ServerDataAddr = s.udpPort.LocalAddr()
+		} else {
+			out.ServerDataAddr = s.cfg.Net.Addr(s.cfg.DataTCPPort)
+		}
+		resp.Set("Transport", out.Format())
+		cc.reply(resp)
+
+	case rtsp.MethodPlay:
+		sess := s.lookupSession(req, cc)
+		if sess == nil {
+			cc.reply(rtsp.NewResponse(req, rtsp.StatusNotFound))
+			return
+		}
+		sess.play()
+		s.played++
+		cc.reply(rtsp.NewResponse(req, rtsp.StatusOK))
+
+	case rtsp.MethodPause:
+		sess := s.lookupSession(req, cc)
+		if sess == nil {
+			cc.reply(rtsp.NewResponse(req, rtsp.StatusNotFound))
+			return
+		}
+		sess.pause()
+		cc.reply(rtsp.NewResponse(req, rtsp.StatusOK))
+
+	case rtsp.MethodTeardown:
+		sess := s.lookupSession(req, cc)
+		if sess != nil {
+			sess.stop()
+			s.removeSession(sess)
+			s.tornDown++
+		}
+		cc.reply(rtsp.NewResponse(req, rtsp.StatusOK))
+
+	case rtsp.MethodSetParameter:
+		cc.reply(rtsp.NewResponse(req, rtsp.StatusOK))
+
+	default:
+		cc.reply(rtsp.NewResponse(req, rtsp.StatusInternalError))
+	}
+}
+
+func (s *Server) lookupSession(req *rtsp.Message, cc *controlConn) *streamSession {
+	if id := req.Get("Session"); id != "" {
+		return s.sessions[id]
+	}
+	return cc.sess
+}
+
+func (s *Server) removeSession(sess *streamSession) {
+	delete(s.sessions, sess.id)
+	if sess.spec.ClientDataAddr != "" {
+		delete(s.byDataAddr, sess.spec.ClientDataAddr)
+	}
+}
+
+// acceptDataTCP waits for the DataHello that binds a data connection to its
+// session.
+func (s *Server) acceptDataTCP(conn transport.Conn) {
+	conn.SetReceiver(func(payload any, size int) {
+		switch m := payload.(type) {
+		case *session.DataHello:
+			sess, ok := s.sessions[m.SessionID]
+			if !ok {
+				conn.Close()
+				return
+			}
+			sess.bindTCPData(conn)
+		case *rdt.Packet:
+			// Feedback on an already-bound connection is routed by the
+			// receiver installed in bindTCPData; a packet here means the
+			// hello never arrived.
+		}
+	})
+}
+
+// onUDPData demultiplexes datagrams from clients (reports, buffer state) to
+// their sessions by source address.
+func (s *Server) onUDPData(from string, payload any, _ int) {
+	sess, ok := s.byDataAddr[from]
+	if !ok {
+		return
+	}
+	pkt, ok := payload.(*rdt.Packet)
+	if !ok {
+		return
+	}
+	sess.onFeedback(pkt)
+}

@@ -1,0 +1,248 @@
+// Package session holds the protocol pieces shared by the server and player
+// engines: the clip description exchanged in DESCRIBE, the data-channel
+// hello that binds a TCP data connection to its RTSP session, the combined
+// wire codec used by the real-socket transports, and the Net abstraction
+// that lets the same engine code run over the simulator or over OS sockets.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"realtracer/internal/media"
+	"realtracer/internal/rdt"
+	"realtracer/internal/rtsp"
+	"realtracer/internal/transport"
+)
+
+// Well-known ports, mirroring RealServer's defaults (554 RTSP; data ports in
+// the 697x range).
+const (
+	ControlPort = 554
+	DataTCPPort = 5540
+	DataUDPPort = 6970
+)
+
+// EncodingDesc is one SureStream stream as advertised in DESCRIBE.
+type EncodingDesc struct {
+	TotalKbps float64
+	AudioKbps float64
+	FrameRate float64
+	Width     int
+	Height    int
+}
+
+// ClipDesc is the DESCRIBE body: everything the player needs to know about
+// the clip before SETUP.
+type ClipDesc struct {
+	Title     string
+	Duration  time.Duration
+	Scalable  bool
+	Live      bool
+	Encodings []EncodingDesc
+}
+
+// DescFromClip converts a media clip to its advertised description.
+func DescFromClip(c *media.Clip) ClipDesc {
+	d := ClipDesc{Title: c.Title, Duration: c.Duration, Scalable: c.ScalableVideo, Live: c.Live}
+	for _, e := range c.Encodings {
+		d.Encodings = append(d.Encodings, EncodingDesc{
+			TotalKbps: e.TotalKbps, AudioKbps: e.AudioKbps,
+			FrameRate: e.FrameRate, Width: e.Width, Height: e.Height,
+		})
+	}
+	return d
+}
+
+// FrameRateFor returns the encoded frame rate of the stream whose total
+// bandwidth is kbps, or 0 when unknown. Players use it to interpret the
+// EncRate field of arriving data.
+func (d ClipDesc) FrameRateFor(kbps float64) float64 {
+	for _, e := range d.Encodings {
+		if e.TotalKbps == kbps {
+			return e.FrameRate
+		}
+	}
+	return 0
+}
+
+// Marshal renders the description as the DESCRIBE body (a compact SDP-like
+// text form).
+func (d ClipDesc) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "title=%s\n", d.Title)
+	fmt.Fprintf(&b, "duration_ms=%d\n", d.Duration.Milliseconds())
+	fmt.Fprintf(&b, "scalable=%t\n", d.Scalable)
+	fmt.Fprintf(&b, "live=%t\n", d.Live)
+	for _, e := range d.Encodings {
+		fmt.Fprintf(&b, "enc=%g/%g/%g/%dx%d\n", e.TotalKbps, e.AudioKbps, e.FrameRate, e.Width, e.Height)
+	}
+	return []byte(b.String())
+}
+
+// ErrBadDesc reports an unparseable DESCRIBE body.
+var ErrBadDesc = errors.New("session: malformed clip description")
+
+// ParseClipDesc parses a DESCRIBE body.
+func ParseClipDesc(body []byte) (ClipDesc, error) {
+	var d ClipDesc
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		kv := strings.SplitN(line, "=", 2)
+		if len(kv) != 2 {
+			return d, ErrBadDesc
+		}
+		switch kv[0] {
+		case "title":
+			d.Title = kv[1]
+		case "duration_ms":
+			ms, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil {
+				return d, ErrBadDesc
+			}
+			d.Duration = time.Duration(ms) * time.Millisecond
+		case "scalable":
+			d.Scalable = kv[1] == "true"
+		case "live":
+			d.Live = kv[1] == "true"
+		case "enc":
+			var e EncodingDesc
+			var dims string
+			parts := strings.Split(kv[1], "/")
+			if len(parts) != 4 {
+				return d, ErrBadDesc
+			}
+			var err error
+			if e.TotalKbps, err = strconv.ParseFloat(parts[0], 64); err != nil {
+				return d, ErrBadDesc
+			}
+			if e.AudioKbps, err = strconv.ParseFloat(parts[1], 64); err != nil {
+				return d, ErrBadDesc
+			}
+			if e.FrameRate, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return d, ErrBadDesc
+			}
+			dims = parts[3]
+			wh := strings.SplitN(dims, "x", 2)
+			if len(wh) != 2 {
+				return d, ErrBadDesc
+			}
+			if e.Width, err = strconv.Atoi(wh[0]); err != nil {
+				return d, ErrBadDesc
+			}
+			if e.Height, err = strconv.Atoi(wh[1]); err != nil {
+				return d, ErrBadDesc
+			}
+			d.Encodings = append(d.Encodings, e)
+		}
+	}
+	if len(d.Encodings) == 0 || d.Duration <= 0 {
+		return d, ErrBadDesc
+	}
+	return d, nil
+}
+
+// DataHello is the first message on a TCP data connection, binding it to the
+// RTSP session negotiated on the control connection.
+type DataHello struct {
+	SessionID string
+}
+
+// Codec is the combined wire codec for live-socket mode: a one-byte channel
+// tag followed by the channel's own encoding.
+type Codec struct{}
+
+// Channel tags.
+const (
+	chanRTSP  = 0x01
+	chanRDT   = 0x02
+	chanHello = 0x03
+)
+
+// Encode implements transport.Codec.
+func (Codec) Encode(payload any) ([]byte, error) {
+	switch m := payload.(type) {
+	case *rtsp.Message:
+		return append([]byte{chanRTSP}, m.Marshal()...), nil
+	case *rdt.Packet:
+		b, err := rdt.Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{chanRDT}, b...), nil
+	case *DataHello:
+		return append([]byte{chanHello}, []byte(m.SessionID)...), nil
+	default:
+		return nil, fmt.Errorf("session: cannot encode %T", payload)
+	}
+}
+
+// Decode implements transport.Codec.
+func (Codec) Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, errors.New("session: empty frame")
+	}
+	switch data[0] {
+	case chanRTSP:
+		return rtsp.Parse(data[1:])
+	case chanRDT:
+		return rdt.Decode(data[1:])
+	case chanHello:
+		return &DataHello{SessionID: string(data[1:])}, nil
+	default:
+		return nil, fmt.Errorf("session: unknown channel tag %#x", data[0])
+	}
+}
+
+var _ transport.Codec = Codec{}
+
+// DataPort is the server-side unconnected datagram endpoint, satisfied by
+// both transport.UDPPort (simulation) and transport.RealUDPPort (sockets).
+type DataPort interface {
+	SendTo(addr string, payload any, size int) error
+	LocalAddr() string
+	Close() error
+}
+
+// Net abstracts endpoint creation on one host so engines are agnostic to
+// simulation vs. real sockets.
+type Net interface {
+	// ListenTCP accepts message connections on port.
+	ListenTCP(port int, accept func(transport.Conn)) (stop func(), err error)
+	// ListenUDP binds a datagram port, delivering (sender, payload, size).
+	ListenUDP(port int, recv func(from string, payload any, size int)) (DataPort, error)
+	// DialTCP opens a message connection; cb fires exactly once.
+	DialTCP(addr string, cb func(transport.Conn, error))
+	// DialUDP returns a connected datagram Conn (usable immediately).
+	DialUDP(addr string) (transport.Conn, error)
+	// Addr renders "this host, that port" for advertisement to the peer.
+	Addr(port int) string
+}
+
+// SimNet implements Net over the simulator's per-host Stack.
+type SimNet struct{ Stack *transport.Stack }
+
+// ListenTCP implements Net.
+func (n SimNet) ListenTCP(port int, accept func(transport.Conn)) (func(), error) {
+	return n.Stack.Listen(port, accept), nil
+}
+
+// ListenUDP implements Net.
+func (n SimNet) ListenUDP(port int, recv func(string, any, int)) (DataPort, error) {
+	return n.Stack.ListenUDP(port, recv), nil
+}
+
+// DialTCP implements Net.
+func (n SimNet) DialTCP(addr string, cb func(transport.Conn, error)) { n.Stack.DialTCP(addr, cb) }
+
+// DialUDP implements Net.
+func (n SimNet) DialUDP(addr string) (transport.Conn, error) { return n.Stack.DialUDP(addr), nil }
+
+// Addr implements Net.
+func (n SimNet) Addr(port int) string { return fmt.Sprintf("%s:%d", n.Stack.Host(), port) }

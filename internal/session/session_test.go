@@ -1,0 +1,144 @@
+package session
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"realtracer/internal/media"
+	"realtracer/internal/rdt"
+	"realtracer/internal/rtsp"
+)
+
+func TestClipDescRoundTrip(t *testing.T) {
+	clip := media.GenerateClip("rtsp://h/c.rm", "news-1", media.ContentNews, 3*time.Minute, 20, 350, 1)
+	d := DescFromClip(clip)
+	got, err := ParseClipDesc(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != d.Title || got.Duration != d.Duration || got.Scalable != d.Scalable {
+		t.Fatalf("scalar fields mismatch: %+v vs %+v", got, d)
+	}
+	if len(got.Encodings) != len(d.Encodings) {
+		t.Fatalf("encodings %d vs %d", len(got.Encodings), len(d.Encodings))
+	}
+	for i := range got.Encodings {
+		if got.Encodings[i] != d.Encodings[i] {
+			t.Fatalf("encoding %d mismatch: %+v vs %+v", i, got.Encodings[i], d.Encodings[i])
+		}
+	}
+}
+
+func TestFrameRateFor(t *testing.T) {
+	clip := media.GenerateClip("u", "t", media.ContentNews, time.Minute, 20, 350, 1)
+	d := DescFromClip(clip)
+	if d.FrameRateFor(34) != 10 {
+		t.Fatalf("34Kbps fps=%v want 10", d.FrameRateFor(34))
+	}
+	if d.FrameRateFor(999) != 0 {
+		t.Fatal("unknown rate should be 0")
+	}
+}
+
+func TestParseClipDescErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"title=x\n",                        // no encodings, no duration
+		"duration_ms=abc\nenc=1/2/3/4x5\n", // bad duration
+		"duration_ms=1000\nenc=bad\n",      // bad encoding
+		"duration_ms=1000\nnot-a-kv\n",     // bad line
+		"duration_ms=1000\nenc=1/2/3/nox\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseClipDesc([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestCodecRoundTripRTSP(t *testing.T) {
+	m := rtsp.NewRequest(rtsp.MethodPlay, "rtsp://h/c", 5)
+	m.Set("Session", "sess-9")
+	b, err := Codec{}.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Codec{}.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, ok := got.(*rtsp.Message)
+	if !ok || gm.Method != rtsp.MethodPlay || gm.Get("Session") != "sess-9" {
+		t.Fatalf("rtsp round trip failed: %#v", got)
+	}
+}
+
+func TestCodecRoundTripRDT(t *testing.T) {
+	p := &rdt.Packet{Kind: rdt.TypeData, Data: &rdt.Data{Stream: rdt.StreamVideo, Seq: 3, PadLen: 50}}
+	b, err := Codec{}.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Codec{}.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, ok := got.(*rdt.Packet)
+	if !ok || gp.Kind != rdt.TypeData || gp.Data.Seq != 3 || gp.Data.PayloadLen() != 50 {
+		t.Fatalf("rdt round trip failed: %#v", got)
+	}
+}
+
+func TestCodecRoundTripHello(t *testing.T) {
+	b, err := Codec{}.Encode(&DataHello{SessionID: "sess-42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Codec{}.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := got.(*DataHello); !ok || h.SessionID != "sess-42" {
+		t.Fatalf("hello round trip failed: %#v", got)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := (Codec{}).Encode(42); err == nil {
+		t.Fatal("unknown payload type accepted")
+	}
+	if _, err := (Codec{}).Decode(nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := (Codec{}).Decode([]byte{0x7F, 1, 2}); err == nil {
+		t.Fatal("unknown channel tag accepted")
+	}
+}
+
+// Property: any well-formed description round-trips.
+func TestPropertyClipDescRoundTrip(t *testing.T) {
+	f := func(durSec uint16, scalable bool, encCount uint8) bool {
+		if durSec == 0 {
+			durSec = 1
+		}
+		d := ClipDesc{Title: "clip", Duration: time.Duration(durSec) * time.Second, Scalable: scalable}
+		n := int(encCount%5) + 1
+		ladder := media.SureStreamLadder()
+		for i := 0; i < n; i++ {
+			e := ladder[i%len(ladder)]
+			d.Encodings = append(d.Encodings, EncodingDesc{
+				TotalKbps: e.TotalKbps, AudioKbps: e.AudioKbps, FrameRate: e.FrameRate,
+				Width: e.Width, Height: e.Height,
+			})
+		}
+		got, err := ParseClipDesc(d.Marshal())
+		if err != nil || got.Duration != d.Duration || len(got.Encodings) != n {
+			return false
+		}
+		return got.Scalable == scalable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package simclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	c := New()
+	var got []int
+	c.After(30*time.Millisecond, func() { got = append(got, 3) })
+	c.After(10*time.Millisecond, func() { got = append(got, 1) })
+	c.After(20*time.Millisecond, func() { got = append(got, 2) })
+	c.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fired out of order: %v", got)
+	}
+}
+
+func TestEqualTimestampsFireFIFO(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNowAdvancesToEventTime(t *testing.T) {
+	c := New()
+	var at time.Duration
+	c.At(42*time.Millisecond, func() { at = c.Now() })
+	c.Run()
+	if at != 42*time.Millisecond {
+		t.Fatalf("Now inside event = %v, want 42ms", at)
+	}
+	if c.Now() != 42*time.Millisecond {
+		t.Fatalf("final Now = %v", c.Now())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.After(time.Second, func() { fired = true })
+	e.Cancel()
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() should report true")
+	}
+	e.Cancel() // idempotent
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	c := New()
+	c.At(time.Second, func() {
+		// Scheduling in the past must not move time backwards.
+		c.At(0, func() {
+			if c.Now() != time.Second {
+				t.Errorf("past event ran at %v", c.Now())
+			}
+		})
+	})
+	c.Run()
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		c.At(d, func() { fired = append(fired, d) })
+	}
+	c.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3s) fired %d events, want 3", len(fired))
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("clock at %v after RunUntil(3s)", c.Now())
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending=%d, want 2", c.Pending())
+	}
+	c.Run()
+	if len(fired) != 5 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestRunUntilHonorsNewlyScheduledEvents(t *testing.T) {
+	c := New()
+	var got []string
+	c.At(time.Second, func() {
+		got = append(got, "a")
+		c.After(500*time.Millisecond, func() { got = append(got, "b") })
+	})
+	c.RunUntil(2 * time.Second)
+	if len(got) != 2 || got[1] != "b" {
+		t.Fatalf("chained event within horizon missed: %v", got)
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	c := New()
+	c.At(time.Second, func() {})
+	c.Run()
+	n := 0
+	c.After(500*time.Millisecond, func() { n++ })
+	c.RunFor(time.Second)
+	if n != 1 {
+		t.Fatalf("RunFor missed relative event")
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("Now=%v want 2s", c.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	c := New()
+	for i := 0; i < 7; i++ {
+		c.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	c.Run()
+	if c.Fired() != 7 {
+		t.Fatalf("Fired=%d want 7", c.Fired())
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) should panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+// Property: for any random schedule, events fire in non-decreasing time
+// order and the clock never runs backwards.
+func TestPropertyOrderedExecution(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		count := int(n%50) + 1
+		var last time.Duration = -1
+		ok := true
+		for i := 0; i < count; i++ {
+			c.At(time.Duration(rng.Intn(1000))*time.Millisecond, func() {
+				if c.Now() < last {
+					ok = false
+				}
+				last = c.Now()
+			})
+		}
+		c.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAfterClampsToZero(t *testing.T) {
+	c := New()
+	fired := false
+	c.After(-time.Second, func() { fired = true })
+	c.Run()
+	if !fired || c.Now() != 0 {
+		t.Fatalf("negative After mishandled: fired=%v now=%v", fired, c.Now())
+	}
+}

@@ -1,0 +1,275 @@
+// Package study orchestrates the full measurement campaign: it builds the
+// June-2001 world (11 RealServers in 8 countries, 63 users in 12 countries,
+// the wide-area network between them), runs every user's RealTracer session
+// over the discrete-event simulator, and returns the per-clip records that
+// the figures are computed from.
+//
+// One seed reproduces one complete study; the default options reproduce the
+// paper's dataset in shape (≈2855 clips played, ≈388 rated).
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"realtracer/internal/geo"
+	"realtracer/internal/media"
+	"realtracer/internal/netsim"
+	"realtracer/internal/ratecontrol"
+	"realtracer/internal/server"
+	"realtracer/internal/session"
+	"realtracer/internal/simclock"
+	"realtracer/internal/trace"
+	"realtracer/internal/tracer"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// Options configure a study run. The zero value (plus a seed) reproduces
+// the paper's setup; the remaining knobs drive the ablation benches.
+type Options struct {
+	Seed int64
+	// MaxUsers truncates the population for quick tests (0 = all 63).
+	MaxUsers int
+	// ClipCap truncates each user's playlist progress (0 = the user's own
+	// draw). Useful to shrink test runs.
+	ClipCap int
+	// PlayFor is the per-clip playout length (default 1 minute).
+	PlayFor time.Duration
+	// DisableSureStream, DisableFEC, Preroll and Controller are ablation
+	// knobs for the DESIGN.md experiments.
+	DisableSureStream bool
+	DisableFEC        bool
+	Preroll           time.Duration
+	// Controller selects the UDP rate controller: "" or "tfrc", "aimd",
+	// "unresponsive".
+	Controller string
+	// CongestionScale scales wide-area cross traffic (1 = calibrated).
+	CongestionScale float64
+	// StaggerWindow spreads user start times (default 90 minutes). Overlap
+	// creates shared-bottleneck load at servers.
+	StaggerWindow time.Duration
+	// ServerUplinkKbps overrides the server access capacity (default 2500,
+	// a 2001-era multi-T1 uplink).
+	ServerUplinkKbps float64
+}
+
+func (o *Options) fill() {
+	if o.PlayFor <= 0 {
+		o.PlayFor = time.Minute
+	}
+	if o.CongestionScale == 0 {
+		o.CongestionScale = 1
+	}
+	if o.StaggerWindow <= 0 {
+		o.StaggerWindow = 90 * time.Minute
+	}
+	if o.ServerUplinkKbps <= 0 {
+		o.ServerUplinkKbps = 8000
+	}
+}
+
+// Result is a completed study.
+type Result struct {
+	Records []*trace.Record
+	Users   []*geo.User
+	Sites   []geo.ServerSite
+	// SimDuration is how much virtual time the campaign took.
+	SimDuration time.Duration
+	// Events is the simulator event count (diagnostics).
+	Events uint64
+}
+
+// Run executes the campaign and returns its records.
+func Run(opt Options) (*Result, error) {
+	opt.fill()
+	clock := simclock.New()
+	masterRNG := rand.New(rand.NewSource(opt.Seed))
+
+	sites := geo.Sites()
+	users := geo.Population(opt.Seed + 1)
+	if opt.MaxUsers > 0 && opt.MaxUsers < len(users) {
+		users = users[:opt.MaxUsers]
+	}
+
+	routes := geo.NewRouteTable(sites, users, opt.Seed+2)
+	routes.CongestionScale = opt.CongestionScale
+	net := netsim.New(clock, routes, opt.Seed+3)
+
+	// Bring up the servers and assemble the 98-entry playlist.
+	serverAccess := netsim.DefaultAccessProfile(netsim.AccessServer)
+	serverAccess.UpKbps = opt.ServerUplinkKbps
+	serverAccess.DownKbps = opt.ServerUplinkKbps
+
+	var playlist []tracer.Entry
+	for si, site := range sites {
+		if site.Clips == 0 {
+			continue
+		}
+		net.AddHost(netsim.HostConfig{Name: site.Host, Access: serverAccess})
+		lib := media.GenerateLibrary(site.Host, site.Clips, opt.Seed+100+int64(si))
+		srv := server.New(server.Config{
+			Clock:          vclock.Sim{C: clock},
+			Net:            session.SimNet{Stack: transport.NewStack(net, site.Host)},
+			Library:        lib,
+			Rand:           rand.New(rand.NewSource(masterRNG.Int63())),
+			Unavailability: site.Unavailability,
+			SureStream:     !opt.DisableSureStream,
+			FEC:            !opt.DisableFEC,
+			NewController:  controllerFactory(opt.Controller),
+		})
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("study: start %s: %w", site.Name, err)
+		}
+		for _, clip := range lib.Clips {
+			playlist = append(playlist, tracer.Entry{
+				URL:         clip.URL,
+				ControlAddr: fmt.Sprintf("%s:%d", site.Host, session.ControlPort),
+				Site:        site,
+			})
+		}
+	}
+	if len(playlist) != geo.PlaylistSize {
+		return nil, fmt.Errorf("study: playlist has %d entries, want %d", len(playlist), geo.PlaylistSize)
+	}
+
+	// Launch every user's RealTracer run, staggered across the window.
+	var records []*trace.Record
+	remaining := len(users)
+	for _, u := range users {
+		u := u
+		userRNG := rand.New(rand.NewSource(masterRNG.Int63()))
+		access := netsim.DefaultAccessProfile(u.Access)
+		if u.Access == netsim.AccessModem {
+			// 2001 modems were a spread of V.90 and V.34 hardware syncing
+			// anywhere from ~26 to ~46 Kbps depending on the line; PPP
+			// framing and compression overhead shave ~10 % off the sync
+			// rate in practice.
+			access.DownKbps = u.ModemKbps * 0.9
+			access.UpKbps = 22 + userRNG.Float64()*9
+		}
+		net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
+		rater := newRater(u, userRNG)
+
+		n := u.ClipsToPlay
+		if opt.ClipCap > 0 && n > opt.ClipCap {
+			n = opt.ClipCap
+		}
+		tr := tracer.New(tracer.Config{
+			Clock:      vclock.Sim{C: clock},
+			Net:        session.SimNet{Stack: transport.NewStack(net, u.Name)},
+			User:       u,
+			Playlist:   playlist[:n],
+			PlayFor:    opt.PlayFor,
+			Preroll:    opt.Preroll,
+			Rand:       userRNG,
+			Rate:       rater.rate,
+			OnRecord:   func(rec *trace.Record) { records = append(records, rec) },
+			OnFinished: func() { remaining-- },
+		})
+		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))
+		clock.At(start, tr.Run)
+	}
+
+	// Run until every user finishes. Stopping on completion (rather than on
+	// queue exhaustion) keeps lingering per-session timers from extending
+	// the run.
+	for remaining > 0 && clock.Step() {
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("study: %d users never finished", remaining)
+	}
+	return &Result{
+		Records:     records,
+		Users:       users,
+		Sites:       sites,
+		SimDuration: clock.Now(),
+		Events:      clock.Fired(),
+	}, nil
+}
+
+func controllerFactory(name string) func(float64) ratecontrol.Controller {
+	lim := ratecontrol.DefaultLimits()
+	switch name {
+	case "", "tfrc":
+		return func(start float64) ratecontrol.Controller { return ratecontrol.NewTFRC(start, 1000, lim) }
+	case "aimd":
+		return func(start float64) ratecontrol.Controller { return ratecontrol.NewAIMD(start, lim) }
+	case "unresponsive":
+		return func(start float64) ratecontrol.Controller { return &ratecontrol.Unresponsive{Kbps: start} }
+	default:
+		return func(start float64) ratecontrol.Controller { return ratecontrol.NewTFRC(start, 1000, lim) }
+	}
+}
+
+// rater implements the perceptual-rating model of Section V.C. Users anchor
+// around a personal centre ("normalization"), adjust it modestly for what
+// they actually saw, and differ on criteria (video-only vs audio+video,
+// subject-matter taste), which together flatten the population-level rating
+// CDF to near-uniform with mean ≈ 5 while preserving the within-user
+// signal the authors expected to mine later.
+type rater struct {
+	user *geo.User
+	rng  *rand.Rand
+}
+
+func newRater(u *geo.User, rng *rand.Rand) *rater { return &rater{user: u, rng: rng} }
+
+// rate maps a clip record to the user's 0-10 score.
+func (r *rater) rate(rec *trace.Record) float64 {
+	// Objective quality in roughly [-1, 1].
+	q := qualityScore(rec, r.user.RatesAVTogether)
+	// Subject-matter taste: some users rated content, not delivery.
+	taste := r.rng.NormFloat64() * 1.2
+	score := r.user.RatingAnchor + 2.2*q + taste
+	// High-bandwidth sessions never rate very low (Figure 28's empty
+	// lower-right corner): good delivery puts a floor under the score.
+	if rec.MeasuredKbps > 250 && score < 3 {
+		score = 3 + r.rng.Float64()
+	}
+	if score < 0 {
+		score = 0
+	}
+	if score > 10 {
+		score = 10
+	}
+	// Users rated whole numbers on the slider.
+	return float64(int(score + 0.5))
+}
+
+// qualityScore folds frame rate, jitter and stalls into [-1, 1].
+func qualityScore(rec *trace.Record, avTogether bool) float64 {
+	var q float64
+	switch {
+	case rec.MeasuredFPS >= media.SmoothFPS:
+		q += 0.8
+	case rec.MeasuredFPS >= media.VeryChoppyFPS:
+		q += 0.3
+	case rec.MeasuredFPS >= media.MinAcceptableFPS:
+		q -= 0.2
+	default:
+		q -= 0.8
+	}
+	switch {
+	case rec.JitterMs <= 50:
+		q += 0.3
+	case rec.JitterMs >= 300:
+		q -= 0.5
+	}
+	if rec.Rebuffers > 0 {
+		q -= 0.3 * float64(rec.Rebuffers)
+	}
+	if avTogether {
+		// Audio survives almost everything (it gets bandwidth priority), so
+		// audio+video raters are systematically kinder on bad video.
+		q = q*0.6 + 0.2
+	}
+	if q < -1 {
+		q = -1
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
+}

@@ -1,0 +1,198 @@
+// Package tracer implements the RealTracer client: it walks a user's
+// playlist, plays each clip with the player engine, converts the engine's
+// statistics into trace records, and solicits a quality rating after each
+// watched clip — the instrumented-player half of the study (Section III.A).
+package tracer
+
+import (
+	"math/rand"
+	"time"
+
+	"realtracer/internal/geo"
+	"realtracer/internal/netsim"
+	"realtracer/internal/player"
+	"realtracer/internal/session"
+	"realtracer/internal/trace"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// Entry is one playlist item.
+type Entry struct {
+	URL         string
+	ControlAddr string
+	Site        geo.ServerSite
+}
+
+// Config parameterizes one RealTracer run (one user, one playlist pass).
+type Config struct {
+	Clock vclock.Clock
+	Net   session.Net
+	User  *geo.User
+	// Playlist is walked sequentially from the top, like the real tool.
+	Playlist []Entry
+	// PlayFor is per-clip playout length (RealTracer default: 1 minute).
+	PlayFor time.Duration
+	// Preroll overrides the player's initial buffer depth (0 = default);
+	// exposed for the buffering ablation.
+	Preroll time.Duration
+	// Rand drives per-clip protocol fallback and the inter-clip think time.
+	Rand *rand.Rand
+	// Rate is the rating model hook: given the record of a just-played
+	// clip, return the user's 0-10 score. Called only for clips the user
+	// chooses to rate.
+	Rate func(rec *trace.Record) float64
+	// OnRecord receives every per-clip record as it is produced.
+	OnRecord func(rec *trace.Record)
+	// OnFinished fires after the final clip.
+	OnFinished func()
+}
+
+// Tracer runs one user's session.
+type Tracer struct {
+	cfg     Config
+	idx     int
+	played  int // successfully played clips (for rating budget)
+	rated   int
+	stopped bool
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.PlayFor <= 0 {
+		cfg.PlayFor = player.DefaultPlayFor
+	}
+	return &Tracer{cfg: cfg}
+}
+
+// Run starts walking the playlist.
+func (t *Tracer) Run() { t.next() }
+
+// Stop abandons the playlist after the in-flight clip.
+func (t *Tracer) Stop() { t.stopped = true }
+
+// protocolFor models RealPlayer's transport auto-configuration: users whose
+// environment forces TCP (firewalls and similar) always use it; the rest
+// request UDP, with an occasional per-clip fallback to TCP (the mix behind
+// Figure 16).
+func (t *Tracer) protocolFor() transport.Protocol {
+	if t.cfg.User.PreferTCP {
+		return transport.TCP
+	}
+	if t.cfg.Rand.Float64() < 0.10 {
+		return transport.TCP
+	}
+	return transport.UDP
+}
+
+// maxBandwidthFor is the RealPlayer "maximum bit rate" preference users set
+// from their connection type. Modem users knew their modem: slow V.34
+// hardware got the "28.8" setting (the 20 Kbps encoding), healthy V.90
+// lines the "56k" setting (34 Kbps).
+func (t *Tracer) maxBandwidthFor() float64 {
+	switch t.cfg.User.Access {
+	case netsim.AccessModem:
+		if t.cfg.User.ModemKbps > 0 && t.cfg.User.ModemKbps < 36 {
+			return 20
+		}
+		return 34
+	case netsim.AccessDSLCable:
+		return 350
+	default:
+		return 450
+	}
+}
+
+func (t *Tracer) next() {
+	if t.stopped || t.idx >= len(t.cfg.Playlist) {
+		if t.cfg.OnFinished != nil {
+			t.cfg.OnFinished()
+		}
+		return
+	}
+	entry := t.cfg.Playlist[t.idx]
+	t.idx++
+
+	p := player.New(player.Config{
+		Clock:            t.cfg.Clock,
+		Net:              t.cfg.Net,
+		ControlAddr:      entry.ControlAddr,
+		URL:              entry.URL,
+		Protocol:         t.protocolFor(),
+		MaxBandwidthKbps: t.maxBandwidthFor(),
+		PlayFor:          t.cfg.PlayFor,
+		Preroll:          t.cfg.Preroll,
+		CPU:              player.PCClasses()[t.cfg.User.PCClass],
+		Rand:             t.cfg.Rand,
+		OnDone: func(st *player.Stats, err error) {
+			rec := t.recordFor(entry, st)
+			t.maybeRate(rec)
+			if t.cfg.OnRecord != nil {
+				t.cfg.OnRecord(rec)
+			}
+			// Brief pause between clips: the rating dialog lingers up to
+			// 10 s, plus human think time.
+			pause := 2*time.Second + time.Duration(t.cfg.Rand.Intn(9000))*time.Millisecond
+			t.cfg.Clock.After(pause, t.next)
+		},
+	})
+	p.Start()
+}
+
+func (t *Tracer) recordFor(entry Entry, st *player.Stats) *trace.Record {
+	u := t.cfg.User
+	rec := &trace.Record{
+		User:    u.Name,
+		Country: u.Country,
+		State:   u.State,
+		Region:  geo.AnalysisUserRegion(u.Region).String(),
+		Access:  u.Access.String(),
+		PCClass: player.PCClasses()[u.PCClass].Name,
+
+		ClipURL:       entry.URL,
+		Server:        entry.Site.Name,
+		ServerCountry: entry.Site.Country,
+		ServerRegion:  geo.AnalysisServerRegion(entry.Site.Region).String(),
+
+		Unavailable: st.Unavailable,
+		Failed:      st.Failed,
+		FailReason:  st.FailReason,
+		Protocol:    st.Protocol.String(),
+
+		EncodedKbps: st.EncodedKbps,
+		EncodedFPS:  st.EncodedFPS,
+
+		MeasuredKbps: st.MeasuredKbps,
+		MeasuredFPS:  st.MeasuredFPS,
+		JitterMs:     st.JitterMs,
+
+		FramesPlayed:      st.FramesPlayed,
+		FramesDroppedLate: st.FramesDroppedLate,
+		FramesDroppedCPU:  st.FramesDroppedCPU,
+		FramesLost:        st.FramesLost,
+		FramesCorrupted:   st.FramesCorrupted,
+
+		Rebuffers:      st.Rebuffers,
+		RebufferTime:   st.RebufferTime,
+		BufferingTime:  st.BufferingTime,
+		CPUUtilization: st.CPUUtilization,
+		Switches:       st.Switches,
+	}
+	return rec
+}
+
+// maybeRate applies the user's rating budget: users were asked to watch and
+// rate 3-10 clips; RealTracer solicited after every clip and moved on if no
+// rating arrived. We model users front-loading their ratings.
+func (t *Tracer) maybeRate(rec *trace.Record) {
+	if rec.Unavailable || rec.Failed {
+		return
+	}
+	t.played++
+	if t.rated >= t.cfg.User.ClipsToRate || t.cfg.Rate == nil {
+		return
+	}
+	rec.Rated = true
+	rec.Rating = t.cfg.Rate(rec)
+	t.rated++
+}

@@ -1,0 +1,376 @@
+package transport
+
+import (
+	"sort"
+	"time"
+
+	"realtracer/internal/netsim"
+	"realtracer/internal/simclock"
+)
+
+// simTCP is one direction-pair of a simulated TCP connection. Each message
+// handed to Send becomes one segment (callers keep messages <= MSS, which
+// all RTSP and RDT packets are). The implementation models the pieces of
+// TCP that shape streaming performance:
+//
+//   - slow start and AIMD congestion avoidance (RFC 5681 shape)
+//   - fast retransmit on 3 duplicate ACKs, with window halving
+//   - retransmission timeout with exponential backoff and cwnd collapse
+//   - strictly in-order delivery, so a loss stalls everything behind it
+//     (head-of-line blocking — the cause of TCP's occasional jitter spikes)
+//
+// It deliberately omits byte-granularity sequence space, SACK, Nagle and
+// flow-control negotiation; none of those change the study's observables.
+type simTCP struct {
+	stack *Stack
+	laddr netsim.Addr
+	raddr netsim.Addr
+
+	established   bool
+	closed        bool
+	onEstablished func()
+	recv          func(any, int)
+
+	// Sender state.
+	nextSeq  uint64 // next sequence to assign
+	sendBase uint64 // oldest unacked
+	queue    []*tcpSeg
+	inflight map[uint64]*tcpSeg
+	cwnd     float64 // congestion window, segments
+	ssthresh float64
+	dupAcks  int
+	lastAck  uint64
+
+	// RTT estimation (Jacobson/Karels).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoTimer     *simclock.Event
+
+	// Receiver state.
+	rcvNext uint64
+	reorder map[uint64]*tcpSeg
+
+	// Counters for tests and diagnostics.
+	retransmits     uint64
+	fastRexmits     uint64
+	timeouts        uint64
+	segsSent        uint64
+	segsDelivered   uint64
+	consecutiveRTOs int
+}
+
+// maxConsecutiveRTOs bounds retransmission attempts before the connection
+// aborts (the peer is presumed gone).
+const maxConsecutiveRTOs = 8
+
+func newSimTCP(s *Stack, laddr, raddr netsim.Addr) *simTCP {
+	c := &simTCP{
+		stack:    s,
+		laddr:    laddr,
+		raddr:    raddr,
+		inflight: make(map[uint64]*tcpSeg),
+		reorder:  make(map[uint64]*tcpSeg),
+		cwnd:     2,
+		ssthresh: 64,
+		rto:      initialRTO,
+	}
+	s.net.Register(laddr, c.onPacket)
+	return c
+}
+
+// Conn interface.
+
+func (c *simTCP) Send(payload any, size int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	seg := &tcpSeg{conn: c, seq: c.nextSeq, payload: payload, size: size}
+	c.nextSeq++
+	c.queue = append(c.queue, seg)
+	c.pump()
+	return nil
+}
+
+func (c *simTCP) SetReceiver(fn func(any, int)) { c.recv = fn }
+
+func (c *simTCP) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.sendRaw(&tcpSeg{conn: c, fin: true}, 0)
+	c.teardown()
+	return nil
+}
+
+func (c *simTCP) teardown() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	c.stack.net.Unregister(c.laddr)
+}
+
+func (c *simTCP) Protocol() Protocol { return TCP }
+func (c *simTCP) LocalAddr() string  { return string(c.laddr) }
+func (c *simTCP) RemoteAddr() string { return string(c.raddr) }
+func (c *simTCP) RTT() time.Duration { return c.srtt }
+
+// QueueDepth reports how many messages are waiting or in flight — the
+// sender-side backlog a streaming server watches to detect that TCP cannot
+// sustain the media rate.
+func (c *simTCP) QueueDepth() int { return len(c.queue) + len(c.inflight) }
+
+// Counters returns (retransmits, fastRetransmits, timeouts).
+func (c *simTCP) Counters() (uint64, uint64, uint64) {
+	return c.retransmits, c.fastRexmits, c.timeouts
+}
+
+// pump transmits queued segments while the congestion window allows.
+func (c *simTCP) pump() {
+	if !c.established || c.closed {
+		return
+	}
+	limit := int(c.cwnd)
+	if limit > rwndSegs {
+		limit = rwndSegs
+	}
+	for len(c.queue) > 0 && len(c.inflight) < limit {
+		seg := c.queue[0]
+		c.queue = c.queue[1:]
+		if seg.seq < c.sendBase {
+			continue // requeued after a timeout but since acknowledged
+		}
+		c.transmit(seg, false)
+	}
+}
+
+func (c *simTCP) transmit(seg *tcpSeg, rexmit bool) {
+	seg.ts = c.stack.clock.Now()
+	seg.rexmit = seg.rexmit || rexmit
+	c.inflight[seg.seq] = seg
+	c.segsSent++
+	if rexmit {
+		c.retransmits++
+	}
+	c.sendRaw(seg, seg.size)
+	c.armRTO()
+}
+
+func (c *simTCP) sendRaw(seg *tcpSeg, size int) {
+	c.stack.net.Send(&netsim.Packet{
+		From:    c.laddr,
+		To:      c.raddr,
+		Size:    size + segHeader,
+		Payload: seg,
+	})
+}
+
+func (c *simTCP) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	if len(c.inflight) == 0 {
+		c.rtoTimer = nil
+		return
+	}
+	c.rtoTimer = c.stack.clock.After(c.rto, c.onRTO)
+}
+
+func (c *simTCP) onRTO() {
+	if c.closed || len(c.inflight) == 0 {
+		return
+	}
+	c.timeouts++
+	c.consecutiveRTOs++
+	if c.consecutiveRTOs > maxConsecutiveRTOs {
+		// The peer is unreachable or gone; abort like a real TCP would
+		// after exhausting its retries.
+		c.closed = true
+		c.teardown()
+		return
+	}
+	// Collapse the window, retransmit the oldest unacked segment, and put
+	// every other unacked segment back at the head of the send queue
+	// (go-back-N): a timeout usually means the whole flight is gone, and
+	// leaving stale entries in the inflight set would wedge the window.
+	c.ssthresh = maxF(c.cwnd/2, 2)
+	c.cwnd = 1
+	c.dupAcks = 0
+	c.rto = minDur(c.rto*2, maxRTO)
+	oldest := c.oldestInflight()
+	var requeue []*tcpSeg
+	for seq, seg := range c.inflight {
+		if seg == oldest {
+			continue
+		}
+		seg.rexmit = true // Karn: never RTT-sample these again
+		requeue = append(requeue, seg)
+		delete(c.inflight, seq)
+	}
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i].seq < requeue[j].seq })
+	c.queue = append(requeue, c.queue...)
+	if oldest != nil {
+		c.transmit(oldest, true)
+	}
+}
+
+func (c *simTCP) oldestInflight() *tcpSeg {
+	var oldest *tcpSeg
+	for _, seg := range c.inflight {
+		if oldest == nil || seg.seq < oldest.seq {
+			oldest = seg
+		}
+	}
+	return oldest
+}
+
+// onPacket handles every arrival addressed to this conn: segments from the
+// peer and ACKs for our own segments.
+func (c *simTCP) onPacket(pkt *netsim.Packet) {
+	if c.closed {
+		return
+	}
+	switch m := pkt.Payload.(type) {
+	case *tcpSeg:
+		c.onSegment(m, pkt)
+	case *tcpAck:
+		c.onAck(m)
+	}
+}
+
+func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
+	switch {
+	case seg.synAck:
+		// Our SYN was answered; the peer's data address is the SYN-ACK's
+		// source (the listener accepted on an ephemeral port).
+		c.raddr = pkt.From
+		c.established = true
+		if c.onEstablished != nil {
+			c.onEstablished()
+		}
+		c.pump()
+		return
+	case seg.syn:
+		return // listeners handle SYNs; a connected socket ignores them
+	case seg.fin:
+		// Peer closed: release our resources too, or an abandoned
+		// server-side conn would retransmit into the void forever.
+		c.closed = true
+		c.teardown()
+		return
+	}
+
+	// Data segment: buffer, deliver in order, and ACK cumulatively.
+	if seg.seq >= c.rcvNext {
+		if _, dup := c.reorder[seg.seq]; !dup {
+			c.reorder[seg.seq] = seg
+		}
+	}
+	for {
+		next, ok := c.reorder[c.rcvNext]
+		if !ok {
+			break
+		}
+		delete(c.reorder, c.rcvNext)
+		c.rcvNext++
+		c.segsDelivered++
+		if c.recv != nil {
+			c.recv(next.payload, next.size)
+		}
+	}
+	ack := &tcpAck{cumAck: c.rcvNext, ts: seg.ts, echoOK: !seg.rexmit}
+	c.stack.net.Send(&netsim.Packet{From: c.laddr, To: pkt.From, Size: ackSize, Payload: ack})
+}
+
+func (c *simTCP) onAck(a *tcpAck) {
+	if a.cumAck > c.sendBase {
+		// New data acknowledged. Sweep everything below the cumulative ACK
+		// out of the inflight set (it may contain pre-timeout stragglers
+		// below sendBase too).
+		acked := 0
+		for seq := range c.inflight {
+			if seq < a.cumAck {
+				delete(c.inflight, seq)
+				acked++
+			}
+		}
+		c.sendBase = a.cumAck
+		c.dupAcks = 0
+		c.consecutiveRTOs = 0
+		// Karn's algorithm: only sample RTT from segments never
+		// retransmitted.
+		if a.echoOK && a.ts > 0 {
+			c.sampleRTT(c.stack.clock.Now() - a.ts)
+		} else if c.srtt > 0 {
+			// Forward progress clears exponential RTO backoff even when the
+			// ACK cannot be RTT-sampled.
+			c.rto = clampRTO(c.srtt + 4*c.rttvar)
+		}
+		// Window growth: slow start below ssthresh, then AIMD.
+		for i := 0; i < acked; i++ {
+			if c.cwnd < c.ssthresh {
+				c.cwnd++
+			} else {
+				c.cwnd += 1 / c.cwnd
+			}
+		}
+		c.armRTO()
+		c.pump()
+		return
+	}
+	if a.cumAck == c.sendBase && len(c.inflight) > 0 {
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			// Fast retransmit + multiplicative decrease.
+			c.fastRexmits++
+			c.ssthresh = maxF(c.cwnd/2, 2)
+			c.cwnd = c.ssthresh
+			if seg, ok := c.inflight[c.sendBase]; ok {
+				c.transmit(seg, true)
+			}
+		}
+	}
+}
+
+func (c *simTCP) sampleRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		diff := c.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = clampRTO(c.srtt + 4*c.rttvar)
+}
+
+func clampRTO(rto time.Duration) time.Duration {
+	if rto < minRTO {
+		return minRTO
+	}
+	if rto > maxRTO {
+		return maxRTO
+	}
+	return rto
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

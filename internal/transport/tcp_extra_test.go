@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"realtracer/internal/netsim"
+)
+
+func TestTCPRTTEstimate(t *testing.T) {
+	clock, sa, sb := newPair(t, netsim.Route{OneWayDelay: 80 * time.Millisecond})
+	sa.Listen(100, func(c Conn) { c.SetReceiver(func(any, int) {}) })
+	var conn Conn
+	sb.DialTCP("a:100", func(c Conn, err error) {
+		conn = c
+		for i := 0; i < 30; i++ {
+			c.Send(i, 500)
+		}
+	})
+	clock.RunUntil(30 * time.Second)
+	rtt := conn.RTT()
+	// One-way 80 ms twice, plus serialization and base delays: expect a
+	// smoothed estimate in the 160-400 ms band.
+	if rtt < 150*time.Millisecond || rtt > 500*time.Millisecond {
+		t.Fatalf("RTT estimate %v outside plausible band", rtt)
+	}
+}
+
+func TestTCPQueueDepthDrains(t *testing.T) {
+	clock, sa, sb := newPair(t, netsim.Route{OneWayDelay: 20 * time.Millisecond})
+	sa.Listen(100, func(c Conn) { c.SetReceiver(func(any, int) {}) })
+	var tc *simTCP
+	sb.DialTCP("a:100", func(c Conn, err error) {
+		tc = c.(*simTCP)
+		for i := 0; i < 100; i++ {
+			c.Send(i, 500)
+		}
+	})
+	clock.RunUntil(time.Second)
+	if tc == nil {
+		t.Fatal("no conn")
+	}
+	mid := tc.QueueDepth()
+	clock.RunUntil(2 * time.Minute)
+	if tc.QueueDepth() != 0 {
+		t.Fatalf("backlog never drained: %d (was %d)", tc.QueueDepth(), mid)
+	}
+}
+
+func TestTCPFinStopsRetransmission(t *testing.T) {
+	// A server-side conn whose peer closes must stop generating events, or
+	// abandoned sessions would keep the simulation alive forever.
+	clock, sa, sb := newPair(t, netsim.Route{OneWayDelay: 20 * time.Millisecond})
+	var serverConn Conn
+	sa.Listen(100, func(c Conn) {
+		serverConn = c
+		c.SetReceiver(func(any, int) {})
+	})
+	var clientConn Conn
+	sb.DialTCP("a:100", func(c Conn, err error) { clientConn = c })
+	clock.RunUntil(time.Second)
+
+	// The client vanishes; the server keeps sending into the void.
+	clientConn.Close()
+	clock.RunUntil(2 * time.Second)
+	for i := 0; i < 50; i++ {
+		serverConn.Send(i, 500)
+	}
+	clock.RunUntil(20 * time.Minute)
+	// After the retry budget the conn aborts; the event queue must drain.
+	if pending := clock.Pending(); pending > 0 {
+		clock.Run()
+	}
+	if clock.Fired() == 0 {
+		t.Fatal("nothing happened at all")
+	}
+	if err := serverConn.Send(99, 100); err == nil {
+		t.Fatal("aborted conn accepted a send")
+	}
+}
+
+func TestListenerDedupesRetriedSYNs(t *testing.T) {
+	// Drop-prone path: the dialer retries its SYN. The listener must not
+	// fork one session per retry.
+	clock, sa, sb := newPair(t, netsim.Route{OneWayDelay: 20 * time.Millisecond})
+	accepts := 0
+	sa.Listen(100, func(c Conn) {
+		accepts++
+		c.SetReceiver(func(any, int) {})
+	})
+	sb.DialTCP("a:100", func(c Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+	})
+	// Even with the clean path, the dial retry timers fire only if the
+	// handshake is slow; force retries by delaying: simulate directly by
+	// letting all timers run.
+	clock.RunUntil(time.Minute)
+	if accepts != 1 {
+		t.Fatalf("accepts=%d want 1", accepts)
+	}
+}
+
+func TestTCPBidirectionalTraffic(t *testing.T) {
+	clock, sa, sb := newPair(t, netsim.Route{OneWayDelay: 30 * time.Millisecond, LossRate: 0.02})
+	var fromClient, fromServer []int
+	sa.Listen(100, func(c Conn) {
+		c.SetReceiver(func(payload any, _ int) {
+			fromClient = append(fromClient, payload.(int))
+			c.Send(payload.(int)*10, 200)
+		})
+	})
+	sb.DialTCP("a:100", func(c Conn, err error) {
+		c.SetReceiver(func(payload any, _ int) {
+			fromServer = append(fromServer, payload.(int))
+		})
+		for i := 0; i < 50; i++ {
+			c.Send(i, 200)
+		}
+	})
+	clock.RunUntil(5 * time.Minute)
+	if len(fromClient) != 50 || len(fromServer) != 50 {
+		t.Fatalf("bidirectional delivery incomplete: %d / %d", len(fromClient), len(fromServer))
+	}
+	for i, v := range fromServer {
+		if v != i*10 {
+			t.Fatalf("reply order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if TCP.String() != "TCP" || UDP.String() != "UDP" {
+		t.Fatal("protocol labels wrong")
+	}
+}

@@ -1,0 +1,304 @@
+// Package transport provides the two transports the study observed under
+// RealVideo sessions — TCP and UDP — over the netsim virtual network, plus
+// adapters over real OS sockets (real.go) so the same server and player code
+// runs live on localhost.
+//
+// The simulated TCP models what matters for streaming performance: slow
+// start and AIMD congestion avoidance, fast retransmit on triple duplicate
+// ACKs, retransmission timeouts, and strictly in-order delivery (head-of-
+// line blocking), which is what differentiates TCP's jitter profile from
+// UDP's in Figures 17/18/24. The simulated UDP is fire-and-forget; loss and
+// reordering come from the network, and responsiveness comes from the
+// application-layer rate controller (internal/ratecontrol), as with
+// RealNetworks' own UDP transport.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"realtracer/internal/netsim"
+	"realtracer/internal/simclock"
+)
+
+// Protocol labels the transport actually used for the data connection — the
+// quantity broken down in Figure 16.
+type Protocol int
+
+const (
+	TCP Protocol = iota
+	UDP
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (p Protocol) String() string {
+	if p == TCP {
+		return "TCP"
+	}
+	return "UDP"
+}
+
+// Conn is a message-oriented bidirectional channel. Implementations deliver
+// opaque payloads with an associated wire size; the session layer supplies
+// meaning (RTSP control or RDT data).
+type Conn interface {
+	// Send queues payload for transmission; size is the payload's wire size
+	// in bytes (transport framing overhead is added internally).
+	Send(payload any, size int) error
+	// SetReceiver installs the delivery callback. Must be set before data
+	// arrives; replacing it is allowed.
+	SetReceiver(fn func(payload any, size int))
+	// Close tears the connection down. Further Sends fail.
+	Close() error
+	// Protocol reports TCP or UDP.
+	Protocol() Protocol
+	// LocalAddr and RemoteAddr identify the endpoints.
+	LocalAddr() string
+	RemoteAddr() string
+	// RTT returns the smoothed round-trip estimate, or 0 when unknown
+	// (e.g. a UDP conn before any feedback).
+	RTT() time.Duration
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: connection closed")
+
+// ErrTimeout is reported to Dial callbacks when the peer never answers.
+var ErrTimeout = errors.New("transport: connect timeout")
+
+const (
+	segHeader   = 40 // TCP/IP header overhead per segment
+	udpHeader   = 28 // UDP/IP header overhead per datagram
+	ackSize     = segHeader
+	maxSegment  = 1460 // MSS; callers keep messages under this
+	initialRTO  = 1 * time.Second
+	minRTO      = 200 * time.Millisecond
+	maxRTO      = 30 * time.Second
+	dialTimeout = 10 * time.Second
+	rwndSegs    = 64 // receiver window, segments
+)
+
+// Stack is the per-host transport endpoint factory. One Stack per netsim
+// host.
+type Stack struct {
+	net   *netsim.Network
+	clock *simclock.Clock
+	host  string
+	next  int // next ephemeral port
+}
+
+// NewStack binds a stack to a host previously added to the network.
+func NewStack(n *netsim.Network, host string) *Stack {
+	return &Stack{net: n, clock: n.Clock, host: host, next: 10000}
+}
+
+// Host returns the host name the stack is bound to.
+func (s *Stack) Host() string { return s.host }
+
+func (s *Stack) ephemeral() netsim.Addr {
+	s.next++
+	return netsim.Addr(fmt.Sprintf("%s:%d", s.host, s.next))
+}
+
+func (s *Stack) addr(port int) netsim.Addr {
+	return netsim.Addr(fmt.Sprintf("%s:%d", s.host, port))
+}
+
+// control messages exchanged by the simulated TCP machinery.
+type tcpSeg struct {
+	conn    *simTCP // sender's conn identity, used to route to the peer conn
+	syn     bool
+	synAck  bool
+	fin     bool
+	seq     uint64
+	payload any
+	size    int
+	ts      time.Duration // sender timestamp for RTT sampling
+	rexmit  bool
+}
+
+type tcpAck struct {
+	cumAck uint64 // next expected seq
+	ts     time.Duration
+	echoOK bool
+}
+
+// Listen installs a TCP listener on port. For every handshake the accept
+// callback is invoked with the server-side Conn — at SYN time, so the
+// session layer can attach its receiver before any data flows. It returns a
+// function that stops the listener.
+func (s *Stack) Listen(port int, accept func(Conn)) (stop func()) {
+	laddr := s.addr(port)
+	// Retried SYNs from the same client must reuse the existing conn, or
+	// each retry would fork a fresh server-side session.
+	seen := make(map[netsim.Addr]*simTCP)
+	s.net.Register(laddr, func(pkt *netsim.Packet) {
+		seg, ok := pkt.Payload.(*tcpSeg)
+		if !ok || !seg.syn {
+			return
+		}
+		if c, dup := seen[pkt.From]; dup && !c.closed {
+			c.sendRaw(&tcpSeg{conn: c, synAck: true}, 0)
+			return
+		}
+		// The server side answers from a fresh ephemeral port; the client
+		// learns the connection's address from the SYN-ACK source.
+		c := newSimTCP(s, s.ephemeral(), pkt.From)
+		c.established = true
+		seen[pkt.From] = c
+		accept(c)
+		c.sendRaw(&tcpSeg{conn: c, synAck: true}, 0)
+	})
+	return func() { s.net.Unregister(laddr) }
+}
+
+// DialTCP opens a connection to raddr. cb receives the Conn once the
+// handshake completes, or an error on timeout. Lost SYNs are retried twice
+// before the dial gives up.
+func (s *Stack) DialTCP(raddr string, cb func(Conn, error)) {
+	c := newSimTCP(s, s.ephemeral(), netsim.Addr(raddr))
+	done := false
+	var retries []*simclock.Event
+	timeout := s.clock.After(dialTimeout, func() {
+		if done {
+			return
+		}
+		done = true
+		c.teardown()
+		cb(nil, ErrTimeout)
+	})
+	for _, after := range []time.Duration{2 * time.Second, 5 * time.Second} {
+		retries = append(retries, s.clock.After(after, func() {
+			if !done {
+				c.sendRaw(&tcpSeg{conn: c, syn: true}, 0)
+			}
+		}))
+	}
+	c.onEstablished = func() {
+		if done {
+			return
+		}
+		done = true
+		timeout.Cancel()
+		for _, r := range retries {
+			r.Cancel()
+		}
+		cb(c, nil)
+	}
+	c.sendRaw(&tcpSeg{conn: c, syn: true}, 0)
+}
+
+// ListenUDP binds a UDP port. recv is invoked for every datagram with the
+// sender's address. The returned port object sends datagrams and can be
+// closed.
+func (s *Stack) ListenUDP(port int, recv func(from string, payload any, size int)) *UDPPort {
+	p := &UDPPort{stack: s, laddr: s.addr(port)}
+	s.net.Register(p.laddr, func(pkt *netsim.Packet) {
+		if p.closed {
+			return
+		}
+		if recv != nil {
+			recv(string(pkt.From), pkt.Payload, pkt.Size-udpHeader)
+		}
+	})
+	return p
+}
+
+// DialUDP returns a connected UDP Conn bound to an ephemeral local port.
+// There is no handshake; the conn is usable immediately.
+func (s *Stack) DialUDP(raddr string) Conn {
+	c := &simUDP{stack: s, laddr: s.ephemeral(), raddr: netsim.Addr(raddr)}
+	s.net.Register(c.laddr, func(pkt *netsim.Packet) {
+		if c.closed || c.recv == nil {
+			return
+		}
+		if pkt.From != c.raddr {
+			return // connected semantics: ignore strangers
+		}
+		c.recv(pkt.Payload, pkt.Size-udpHeader)
+	})
+	return c
+}
+
+// UDPPort is an unconnected UDP endpoint (the server's data port).
+type UDPPort struct {
+	stack  *Stack
+	laddr  netsim.Addr
+	closed bool
+}
+
+// LocalAddr returns the bound address.
+func (p *UDPPort) LocalAddr() string { return string(p.laddr) }
+
+// SendTo transmits one datagram to addr.
+func (p *UDPPort) SendTo(addr string, payload any, size int) error {
+	if p.closed {
+		return ErrClosed
+	}
+	p.stack.net.Send(&netsim.Packet{From: p.laddr, To: netsim.Addr(addr), Size: size + udpHeader, Payload: payload})
+	return nil
+}
+
+// Close unbinds the port.
+func (p *UDPPort) Close() error {
+	if !p.closed {
+		p.closed = true
+		p.stack.net.Unregister(p.laddr)
+	}
+	return nil
+}
+
+// ConnFor returns a Conn view of this port talking to raddr: datagrams sent
+// via the Conn originate from the port's address. Receiving still happens
+// through the port's recv callback, so SetReceiver on the returned Conn
+// panics; servers demultiplex by sender address instead.
+func (p *UDPPort) ConnFor(raddr string) Conn {
+	return &udpPortConn{port: p, raddr: raddr}
+}
+
+type udpPortConn struct {
+	port  *UDPPort
+	raddr string
+}
+
+func (c *udpPortConn) Send(payload any, size int) error {
+	return c.port.SendTo(c.raddr, payload, size)
+}
+func (c *udpPortConn) SetReceiver(func(any, int)) {
+	panic("transport: SetReceiver on server-side UDP conn; demux at the port")
+}
+func (c *udpPortConn) Close() error       { return nil }
+func (c *udpPortConn) Protocol() Protocol { return UDP }
+func (c *udpPortConn) LocalAddr() string  { return string(c.port.laddr) }
+func (c *udpPortConn) RemoteAddr() string { return c.raddr }
+func (c *udpPortConn) RTT() time.Duration { return 0 }
+
+// simUDP is the client-side connected UDP conn.
+type simUDP struct {
+	stack  *Stack
+	laddr  netsim.Addr
+	raddr  netsim.Addr
+	recv   func(any, int)
+	closed bool
+}
+
+func (c *simUDP) Send(payload any, size int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.stack.net.Send(&netsim.Packet{From: c.laddr, To: c.raddr, Size: size + udpHeader, Payload: payload})
+	return nil
+}
+func (c *simUDP) SetReceiver(fn func(any, int)) { c.recv = fn }
+func (c *simUDP) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.stack.net.Unregister(c.laddr)
+	}
+	return nil
+}
+func (c *simUDP) Protocol() Protocol { return UDP }
+func (c *simUDP) LocalAddr() string  { return string(c.laddr) }
+func (c *simUDP) RemoteAddr() string { return string(c.raddr) }
+func (c *simUDP) RTT() time.Duration { return 0 }

@@ -1,0 +1,142 @@
+// Package vclock abstracts time for the server and player engines so the
+// same code runs under the discrete-event simulator (reproducing the study)
+// and under the wall clock (live localhost sessions).
+//
+// Live mode keeps the engines single-threaded the same way the simulator
+// does: every timer callback and every network delivery is posted to a Loop,
+// a serial executor owned by one goroutine.
+package vclock
+
+import (
+	"sync"
+	"time"
+
+	"realtracer/internal/simclock"
+)
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Cancel prevents the callback from firing. Idempotent; cancelling an
+	// already-fired timer is a no-op.
+	Cancel()
+}
+
+// Clock schedules callbacks. Implementations guarantee callbacks never run
+// concurrently with each other.
+type Clock interface {
+	// Now returns elapsed time since the clock's origin.
+	Now() time.Duration
+	// After schedules fn to run once, d from now.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Sim adapts a *simclock.Clock to the Clock interface.
+type Sim struct{ C *simclock.Clock }
+
+// Now implements Clock.
+func (s Sim) Now() time.Duration { return s.C.Now() }
+
+// After implements Clock.
+func (s Sim) After(d time.Duration, fn func()) Timer { return s.C.After(d, fn) }
+
+// Loop is a serial executor: functions posted from any goroutine run one at
+// a time on the goroutine that called Run.
+type Loop struct {
+	mu     sync.Mutex
+	queue  []func()
+	wake   chan struct{}
+	closed bool
+}
+
+// NewLoop returns a ready Loop.
+func NewLoop() *Loop {
+	return &Loop{wake: make(chan struct{}, 1)}
+}
+
+// Post enqueues fn for execution on the loop goroutine. Posting to a closed
+// loop drops fn.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.queue = append(l.queue, fn)
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run processes posted functions until Close is called. It is typically run
+// on the main goroutine of a live-mode binary.
+func (l *Loop) Run() {
+	for {
+		l.mu.Lock()
+		q := l.queue
+		l.queue = nil
+		closed := l.closed
+		l.mu.Unlock()
+		for _, fn := range q {
+			fn()
+		}
+		if closed && len(q) == 0 {
+			return
+		}
+		if len(q) == 0 {
+			<-l.wake
+		}
+	}
+}
+
+// Close stops Run after the queue drains.
+func (l *Loop) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Real is a wall clock whose callbacks are serialized through a Loop.
+type Real struct {
+	Base time.Time
+	Loop *Loop
+}
+
+// NewReal returns a Real clock with origin now.
+func NewReal(loop *Loop) *Real { return &Real{Base: time.Now(), Loop: loop} }
+
+// Now implements Clock.
+func (r *Real) Now() time.Duration { return time.Since(r.Base) }
+
+// After implements Clock. The callback is posted to the loop, never run on
+// the timer goroutine.
+func (r *Real) After(d time.Duration, fn func()) Timer {
+	var cancelled sync.Once
+	stopped := false
+	var mu sync.Mutex
+	t := time.AfterFunc(d, func() {
+		mu.Lock()
+		dead := stopped
+		mu.Unlock()
+		if !dead {
+			r.Loop.Post(fn)
+		}
+	})
+	return realTimer{stop: func() {
+		cancelled.Do(func() {
+			mu.Lock()
+			stopped = true
+			mu.Unlock()
+			t.Stop()
+		})
+	}}
+}
+
+type realTimer struct{ stop func() }
+
+func (t realTimer) Cancel() { t.stop() }
