@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"realtracer/internal/campaign"
 	"realtracer/internal/core"
 	"realtracer/internal/figures"
 	"realtracer/internal/netsim"
@@ -30,9 +31,9 @@ var (
 	studyErr  error
 )
 
-// campaign runs (once) the full 63-user study whose trace all figure
+// sharedTrace runs (once) the full 63-user study whose trace all figure
 // benches share.
-func campaign(b *testing.B) []*trace.Record {
+func sharedTrace(b *testing.B) []*trace.Record {
 	b.Helper()
 	studyOnce.Do(func() {
 		res, err := core.RunStudy(core.StudyOptions{Seed: 1})
@@ -57,7 +58,7 @@ func renderFigure(id string, fig figures.Figure) {
 }
 
 func benchFigure(b *testing.B, id string) {
-	recs := campaign(b)
+	recs := sharedTrace(b)
 	g, ok := figures.ByID(id)
 	if !ok {
 		b.Fatalf("unknown figure %s", id)
@@ -121,6 +122,55 @@ func BenchmarkStudyEndToEnd(b *testing.B) {
 	}
 }
 
+// --- Campaign engine (internal/campaign) ---
+
+// stabilityScenarios is the 20-replica multi-seed stability campaign: the
+// reduced study at 20 consecutive seeds.
+func stabilityScenarios(n int) []core.Scenario {
+	return campaign.SeedReplicas(core.StudyOptions{MaxUsers: 12, ClipCap: 10}, 2, n)
+}
+
+// BenchmarkMultiSeedStability fans a 20-seed stability campaign out across
+// every core and reports the cross-seed spread of the headline frame-rate
+// number — the replication study that would otherwise cost 20 sequential
+// RunStudy calls.
+func BenchmarkMultiSeedStability(b *testing.B) {
+	scs := stabilityScenarios(20)
+	var sum *core.CampaignSummary
+	for i := 0; i < b.N; i++ {
+		sum = core.RunCampaign(scs, core.CampaignConfig{})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var means []float64
+	for _, r := range sum.Results {
+		fps := trace.Values(trace.Played(r.Result.Records), func(rec *trace.Record) float64 { return rec.MeasuredFPS })
+		means = append(means, stats.Mean(fps))
+	}
+	s, _ := stats.Summarize(means)
+	ablationPrintf("stability",
+		"stability %d seeds on %d workers: mean fps %.1f ± %.2f (min %.1f, max %.1f) in %v\n",
+		len(scs), sum.Workers, s.Mean, s.StdDev, s.Min, s.Max, sum.Elapsed.Round(1e6))
+}
+
+// BenchmarkCampaignSerial / BenchmarkCampaignParallel time the same
+// 8-scenario campaign on one worker vs the full pool — the engine's
+// speedup baseline recorded in CHANGES.md.
+func benchCampaignWorkers(b *testing.B, workers int) {
+	scs := stabilityScenarios(8)
+	for i := 0; i < b.N; i++ {
+		sum := core.RunCampaign(scs, core.CampaignConfig{Workers: workers})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchCampaignWorkers(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaignWorkers(b, 0) }
+
 // --- Ablations (DESIGN.md section 4) ---
 
 var ablationOnce sync.Map
@@ -131,94 +181,93 @@ func ablationPrintf(key, format string, args ...any) {
 	}
 }
 
+// runAblation executes one registered sweep through the campaign engine
+// (all cores) and hands each scenario's result to report.
+func runAblation(b *testing.B, sweepName string, report func(r campaign.ScenarioResult)) {
+	b.Helper()
+	sw, ok := campaign.SweepByName(sweepName)
+	if !ok {
+		b.Fatalf("unknown sweep %s", sweepName)
+	}
+	scs := sw.Scenarios(campaign.ReducedBase(9))
+	var sum *core.CampaignSummary
+	for i := 0; i < b.N; i++ {
+		sum = core.RunCampaign(scs, core.CampaignConfig{})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range sum.Results {
+		report(r)
+	}
+}
+
 // BenchmarkAblationBuffer sweeps the player's initial buffer depth and
 // reports the jitter CDF shift: the paper credits the "large initial delay
 // buffer" for the smooth playouts of Figure 20.
 func BenchmarkAblationBuffer(b *testing.B) {
-	prerolls := []time.Duration{time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second}
-	for i := 0; i < b.N; i++ {
-		for _, preroll := range prerolls {
-			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, Preroll: preroll})
-			if err != nil {
-				b.Fatal(err)
-			}
-			jit := trace.Values(trace.Played(res.Records), func(r *trace.Record) float64 { return r.JitterMs })
-			c, _ := stats.NewCDF(jit)
-			ablationPrintf(fmt.Sprintf("buffer-%v", preroll),
-				"ablation buffer preroll=%-4v jitter<=50ms %.0f%%  jitter>=300ms %.0f%%\n",
-				preroll, 100*c.At(50), 100*c.FractionAtLeast(300))
-		}
-	}
+	runAblation(b, "preroll", func(r campaign.ScenarioResult) {
+		preroll := r.Scenario.Options.Preroll
+		jit := trace.Values(trace.Played(r.Result.Records), func(rec *trace.Record) float64 { return rec.JitterMs })
+		c, _ := stats.NewCDF(jit)
+		ablationPrintf(fmt.Sprintf("buffer-%v", preroll),
+			"ablation buffer preroll=%-4v jitter<=50ms %.0f%%  jitter>=300ms %.0f%%\n",
+			preroll, 100*c.At(50), 100*c.FractionAtLeast(300))
+	})
 }
 
 // BenchmarkAblationRateControl compares UDP rate controllers: TFRC vs AIMD
 // vs unresponsive — Figure 18's "responsive but maybe not strictly
 // TCP-friendly" observation, plus the [FF98] strawman.
 func BenchmarkAblationRateControl(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, ctrl := range []string{"tfrc", "aimd", "unresponsive"} {
-			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, Controller: ctrl})
-			if err != nil {
-				b.Fatal(err)
-			}
-			udp := trace.Filter(trace.Played(res.Records), func(r *trace.Record) bool { return r.Protocol == "UDP" })
-			kbps := trace.Values(udp, func(r *trace.Record) float64 { return r.MeasuredKbps })
-			lost := 0
-			for _, r := range udp {
-				lost += r.FramesLost
-			}
-			ablationPrintf("rc-"+ctrl,
-				"ablation ratecontrol %-13s udp sessions=%d mean %.0f Kbps, packets lost=%d\n",
-				ctrl, len(udp), stats.Mean(kbps), lost)
+	runAblation(b, "controller", func(r campaign.ScenarioResult) {
+		ctrl := r.Scenario.Options.Controller
+		udp := trace.Filter(trace.Played(r.Result.Records), func(rec *trace.Record) bool { return rec.Protocol == "UDP" })
+		kbps := trace.Values(udp, func(rec *trace.Record) float64 { return rec.MeasuredKbps })
+		lost := 0
+		for _, rec := range udp {
+			lost += rec.FramesLost
 		}
-	}
+		ablationPrintf("rc-"+ctrl,
+			"ablation ratecontrol %-13s udp sessions=%d mean %.0f Kbps, packets lost=%d\n",
+			ctrl, len(udp), stats.Mean(kbps), lost)
+	})
 }
 
 // BenchmarkAblationSureStream toggles mid-playout stream switching.
 func BenchmarkAblationSureStream(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, disable := range []bool{false, true} {
-			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, DisableSureStream: disable})
-			if err != nil {
-				b.Fatal(err)
-			}
-			played := trace.Played(res.Records)
-			fps := trace.Values(played, func(r *trace.Record) float64 { return r.MeasuredFPS })
-			c, _ := stats.NewCDF(fps)
-			label := "on"
-			if disable {
-				label = "off"
-			}
-			ablationPrintf("ss-"+label,
-				"ablation surestream=%-3s below 3 fps %.0f%%  mean %.1f fps\n",
-				label, 100*c.FractionBelow(3), stats.Mean(fps))
+	runAblation(b, "surestream", func(r campaign.ScenarioResult) {
+		played := trace.Played(r.Result.Records)
+		fps := trace.Values(played, func(rec *trace.Record) float64 { return rec.MeasuredFPS })
+		c, _ := stats.NewCDF(fps)
+		label := "on"
+		if r.Scenario.Options.DisableSureStream {
+			label = "off"
 		}
-	}
+		ablationPrintf("ss-"+label,
+			"ablation surestream=%-3s below 3 fps %.0f%%  mean %.1f fps\n",
+			label, 100*c.FractionBelow(3), stats.Mean(fps))
+	})
 }
 
 // BenchmarkAblationFEC toggles repair packets under a lossy path.
 func BenchmarkAblationFEC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, disable := range []bool{false, true} {
-			res, err := core.RunStudy(core.StudyOptions{Seed: 9, MaxUsers: 14, ClipCap: 8, DisableFEC: disable})
-			if err != nil {
-				b.Fatal(err)
-			}
-			udp := trace.Filter(trace.Played(res.Records), func(r *trace.Record) bool { return r.Protocol == "UDP" })
-			var corrupted, lost int
-			for _, r := range udp {
-				corrupted += r.FramesCorrupted
-				lost += r.FramesLost
-			}
-			label := "on"
-			if disable {
-				label = "off"
-			}
-			ablationPrintf("fec-"+label,
-				"ablation fec=%-3s udp frames corrupted=%d, packets unrecovered=%d (n=%d sessions)\n",
-				label, corrupted, lost, len(udp))
+	runAblation(b, "fec", func(r campaign.ScenarioResult) {
+		udp := trace.Filter(trace.Played(r.Result.Records), func(rec *trace.Record) bool { return rec.Protocol == "UDP" })
+		var corrupted, lost int
+		for _, rec := range udp {
+			corrupted += rec.FramesCorrupted
+			lost += rec.FramesLost
 		}
-	}
+		label := "on"
+		if r.Scenario.Options.DisableFEC {
+			label = "off"
+		}
+		ablationPrintf("fec-"+label,
+			"ablation fec=%-3s udp frames corrupted=%d, packets unrecovered=%d (n=%d sessions)\n",
+			label, corrupted, lost, len(udp))
+	})
 }
 
 // BenchmarkAblationLiveContent contrasts live and pre-recorded delivery of

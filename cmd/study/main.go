@@ -5,11 +5,15 @@
 //
 //	study [-seed N] [-users N] [-clips N] [-out trace.csv] [-json trace.json]
 //	      [-figure figNN | -figures] [-sites] [-timeline]
+//	      [-sweep NAME|list] [-parallel N]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
 // regenerates one figure; -figures all of them; -timeline runs the single-
 // session Figure-1 experiment; -sites prints the server/user geography
-// (the stand-in for the paper's map Figures 3 and 4).
+// (the stand-in for the paper's map Figures 3 and 4). -sweep runs a named
+// multi-scenario campaign (seed replicas or an ablation) through the
+// parallel campaign engine; -parallel bounds its worker pool (0 = all
+// cores). `-sweep list` enumerates the registered sweeps.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"realtracer/internal/campaign"
 	"realtracer/internal/core"
 	"realtracer/internal/geo"
 	"realtracer/internal/stats"
@@ -33,10 +38,28 @@ func main() {
 	figuresAll := flag.Bool("figures", false, "regenerate every figure")
 	sites := flag.Bool("sites", false, "print server sites and user population, then exit")
 	timeline := flag.Bool("timeline", false, "run the Figure-1 single-session timeline, then exit")
+	sweep := flag.String("sweep", "", "run a named campaign sweep over a reduced 14-user/8-clip base study at calibration seed 9 (\"list\" to enumerate; -seed/-users/-clips resize the base)")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = all cores)")
 	flag.Parse()
 
 	if *sites {
 		printSites(*seed)
+		return
+	}
+	if *sweep != "" {
+		if *out != "" || *jsonOut != "" || *figure != "" || *figuresAll || *timeline {
+			fatalf("-sweep is incompatible with -out/-json/-figure/-figures/-timeline")
+		}
+		// Unless -seed was given explicitly, sweeps run at the seed-9
+		// calibration base the ablation benches record, not the study
+		// default of 1.
+		sweepSeed := int64(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				sweepSeed = *seed
+			}
+		})
+		runSweep(*sweep, sweepSeed, *users, *clips, *parallel)
 		return
 	}
 	if *timeline || *figure == "fig01" {
@@ -89,6 +112,51 @@ func main() {
 		core.RenderAll(os.Stdout, res.Records)
 	default:
 		printSummary(res)
+	}
+}
+
+// runSweep executes one registered campaign sweep across the worker pool
+// and prints a per-scenario summary plus the campaign wall-clock.
+func runSweep(name string, seed int64, users, clips, workers int) {
+	if name == "list" {
+		fmt.Println("registered sweeps:")
+		for _, sw := range campaign.Sweeps() {
+			fmt.Printf("  %-12s %s\n", sw.Name, sw.Description)
+		}
+		return
+	}
+	sw, ok := campaign.SweepByName(name)
+	if !ok {
+		fatalf("unknown sweep %q (try -sweep list)", name)
+	}
+	base := campaign.ReducedBase(seed)
+	if users != 0 {
+		base.MaxUsers = users
+	}
+	if clips != 0 {
+		base.ClipCap = clips
+	}
+	scenarios := sw.Scenarios(base)
+	fmt.Printf("sweep %s: base study %d users x %d clips (seed %d); -users/-clips resize it\n",
+		sw.Name, base.MaxUsers, base.ClipCap, base.Seed)
+	sum := core.RunCampaign(scenarios, core.CampaignConfig{Workers: workers, BaseSeed: base.Seed})
+	for _, r := range sum.Results {
+		if r.Err != nil {
+			fmt.Printf("  %-16s FAILED: %v\n", r.Scenario.Name, r.Err)
+			continue
+		}
+		played := trace.Played(r.Result.Records)
+		fps := trace.Values(played, func(rec *trace.Record) float64 { return rec.MeasuredFPS })
+		jit := trace.Values(played, func(rec *trace.Record) float64 { return rec.JitterMs })
+		jcdf, _ := stats.NewCDF(jit)
+		fmt.Printf("  %-16s seed=%-20d attempts=%-4d played=%-4d mean %.1f fps  jitter<=50ms %.0f%%  [%v]\n",
+			r.Scenario.Name, r.Scenario.Options.Seed, len(r.Result.Records), len(played),
+			stats.Mean(fps), 100*jcdf.At(50), r.Elapsed.Round(1e6))
+	}
+	fmt.Printf("sweep %s: %d scenarios on %d workers in %v\n",
+		sw.Name, len(sum.Results), sum.Workers, sum.Elapsed.Round(1e6))
+	if err := sum.Err(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -7,8 +7,13 @@
 // 63-user/11-server measurement campaign whose trace regenerates every
 // figure of the paper's evaluation.
 //
-// Entry points: internal/core (run the study, regenerate figures),
-// cmd/study and cmd/realdata (collection and analysis tools), cmd/realserver
-// and cmd/realtracer (live operation over OS sockets). bench_test.go in this
-// directory holds one benchmark per paper figure plus the design ablations.
+// Entry points: internal/core (run the study via RunStudy, fan multi-
+// scenario sweeps across a worker pool via RunCampaign, regenerate
+// figures), internal/campaign (the parallel campaign engine: named
+// scenarios, deterministic per-scenario seeds, sweep registry), cmd/study
+// and cmd/realdata (collection and analysis tools — `study -sweep NAME
+// -parallel N` runs a registered campaign sweep), cmd/realserver and
+// cmd/realtracer (live operation over OS sockets). bench_test.go in this
+// directory holds one benchmark per paper figure plus the design ablations,
+// which run as parallel campaigns.
 package realtracer

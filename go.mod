@@ -1,0 +1,3 @@
+module realtracer
+
+go 1.24

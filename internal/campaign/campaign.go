@@ -1,0 +1,153 @@
+// Package campaign is the parallel campaign engine: it takes a set of named
+// scenarios (each a study.Options plus a label — seed replicas, ablation
+// points, congestion scales), executes them across a bounded worker pool,
+// and merges the per-scenario results with labels and input order
+// preserved.
+//
+// Parallelism is embarrassingly safe because every scenario builds its own
+// study.World — a private discrete-event clock and network — so no
+// simulator state is shared between workers. Per-scenario seeds are derived
+// deterministically from the scenario name, which makes a campaign's
+// records identical whether it runs on one worker or on every core.
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"realtracer/internal/study"
+	"realtracer/internal/trace"
+)
+
+// Scenario is one named study configuration inside a campaign.
+type Scenario struct {
+	// Name labels the scenario in results and output ("seed-03",
+	// "preroll-8s", "fec-off"). Names should be unique within a campaign;
+	// they also drive seed derivation for scenarios with Seed == 0.
+	Name string
+	// Options configures the scenario's study. A zero Seed is replaced by a
+	// seed derived deterministically from Config.BaseSeed and Name.
+	Options study.Options
+}
+
+// Config tunes a campaign run.
+type Config struct {
+	// Workers bounds the worker pool (0 = runtime.NumCPU()).
+	Workers int
+	// BaseSeed feeds derived seeds for scenarios whose Options.Seed is 0.
+	// Two campaigns with the same scenarios and BaseSeed produce identical
+	// records regardless of worker count.
+	BaseSeed int64
+}
+
+// ScenarioResult is one scenario's completed study.
+type ScenarioResult struct {
+	// Scenario echoes the input spec with its derived seed filled in.
+	Scenario Scenario
+	// Result holds the study's records; nil when Err is set.
+	Result *study.Result
+	// Err is the scenario's failure, if any. One failed scenario does not
+	// abort the others.
+	Err error
+	// Elapsed is the scenario's wall-clock run time.
+	Elapsed time.Duration
+}
+
+// Summary is a completed campaign: one ScenarioResult per input scenario,
+// in input order.
+type Summary struct {
+	Results []ScenarioResult
+	// Workers is the pool size the campaign actually ran with.
+	Workers int
+	// Elapsed is the whole campaign's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Records flattens the per-scenario trace records in scenario order.
+// Failed scenarios contribute nothing.
+func (s *Summary) Records() []*trace.Record {
+	var out []*trace.Record
+	for _, r := range s.Results {
+		if r.Result != nil {
+			out = append(out, r.Result.Records...)
+		}
+	}
+	return out
+}
+
+// Err returns the first scenario error in input order, or nil.
+func (s *Summary) Err() error {
+	for _, r := range s.Results {
+		if r.Err != nil {
+			return fmt.Errorf("campaign: scenario %s: %w", r.Scenario.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+// DeriveSeed maps (base, name) to a stable non-zero seed. The derivation is
+// pure, so scheduling order cannot perturb it.
+func DeriveSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", base, name)
+	seed := int64(h.Sum64() & 0x7fffffffffffffff)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// Run executes the scenarios across cfg.Workers goroutines and returns the
+// merged summary. Results line up with the input slice index-for-index no
+// matter which worker finished first.
+func Run(scenarios []Scenario, cfg Config) *Summary {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	sum := &Summary{Results: make([]ScenarioResult, len(scenarios)), Workers: workers}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sum.Results[i] = runScenario(scenarios[i], cfg)
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	return sum
+}
+
+// runScenario executes one scenario in its own private world.
+func runScenario(sc Scenario, cfg Config) ScenarioResult {
+	if sc.Options.Seed == 0 {
+		sc.Options.Seed = DeriveSeed(cfg.BaseSeed, sc.Name)
+	}
+	start := time.Now()
+	res, err := study.Run(sc.Options)
+	return ScenarioResult{
+		Scenario: sc,
+		Result:   res,
+		Err:      err,
+		Elapsed:  time.Since(start),
+	}
+}

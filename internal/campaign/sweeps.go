@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"realtracer/internal/study"
+)
+
+// ReducedBase is the shrunken study every ablation sweep starts from: 14
+// users playing 8 clips each at a fixed seed — the configuration the
+// DESIGN.md ablation benches were calibrated on. A zero seed falls back to
+// 9 (the benches' calibration seed): ablation arms must share one explicit
+// seed, or the on/off delta would confound the toggle with seed-to-seed
+// variance via per-scenario seed derivation.
+func ReducedBase(seed int64) study.Options {
+	if seed == 0 {
+		seed = 9
+	}
+	return study.Options{Seed: seed, MaxUsers: 14, ClipCap: 8}
+}
+
+// SeedReplicas builds n scenarios that re-run base at consecutive seeds
+// starting from first — the multi-seed stability campaign.
+func SeedReplicas(base study.Options, first int64, n int) []Scenario {
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		o := base
+		o.Seed = first + int64(i)
+		out = append(out, Scenario{Name: fmt.Sprintf("seed-%02d", o.Seed), Options: o})
+	}
+	return out
+}
+
+// PrerollSweep varies the player's initial buffer depth.
+func PrerollSweep(base study.Options, prerolls []time.Duration) []Scenario {
+	out := make([]Scenario, 0, len(prerolls))
+	for _, p := range prerolls {
+		o := base
+		o.Preroll = p
+		out = append(out, Scenario{Name: fmt.Sprintf("preroll-%v", p), Options: o})
+	}
+	return out
+}
+
+// ControllerSweep varies the UDP rate controller.
+func ControllerSweep(base study.Options, controllers []string) []Scenario {
+	out := make([]Scenario, 0, len(controllers))
+	for _, c := range controllers {
+		o := base
+		o.Controller = c
+		out = append(out, Scenario{Name: "ratecontrol-" + c, Options: o})
+	}
+	return out
+}
+
+// SureStreamSweep toggles mid-playout stream switching.
+func SureStreamSweep(base study.Options) []Scenario {
+	on, off := base, base
+	off.DisableSureStream = true
+	return []Scenario{
+		{Name: "surestream-on", Options: on},
+		{Name: "surestream-off", Options: off},
+	}
+}
+
+// FECSweep toggles repair packets.
+func FECSweep(base study.Options) []Scenario {
+	on, off := base, base
+	off.DisableFEC = true
+	return []Scenario{
+		{Name: "fec-on", Options: on},
+		{Name: "fec-off", Options: off},
+	}
+}
+
+// CongestionSweep scales wide-area cross traffic.
+func CongestionSweep(base study.Options, scales []float64) []Scenario {
+	out := make([]Scenario, 0, len(scales))
+	for _, s := range scales {
+		o := base
+		o.CongestionScale = s
+		out = append(out, Scenario{Name: fmt.Sprintf("congestion-%gx", s), Options: o})
+	}
+	return out
+}
+
+// Sweep is a named, self-contained scenario set: the registry entry behind
+// `study -sweep NAME`.
+type Sweep struct {
+	Name        string
+	Description string
+	// Scenarios builds the sweep's scenario set from a base configuration.
+	Scenarios func(base study.Options) []Scenario
+}
+
+var sweeps = map[string]Sweep{
+	"seeds": {
+		Name:        "seeds",
+		Description: "multi-seed stability: the same reduced study at 8 consecutive seeds",
+		Scenarios: func(base study.Options) []Scenario {
+			first := base.Seed
+			if first == 0 {
+				first = 1
+			}
+			return SeedReplicas(base, first, 8)
+		},
+	},
+	"preroll": {
+		Name:        "preroll",
+		Description: "initial buffer depth: 1s, 4s, 8s, 16s preroll",
+		Scenarios: func(base study.Options) []Scenario {
+			return PrerollSweep(base, []time.Duration{
+				time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second,
+			})
+		},
+	},
+	"controller": {
+		Name:        "controller",
+		Description: "UDP rate control: tfrc vs aimd vs unresponsive",
+		Scenarios: func(base study.Options) []Scenario {
+			return ControllerSweep(base, []string{"tfrc", "aimd", "unresponsive"})
+		},
+	},
+	"surestream": {
+		Name:        "surestream",
+		Description: "mid-playout stream switching on/off",
+		Scenarios:   SureStreamSweep,
+	},
+	"fec": {
+		Name:        "fec",
+		Description: "repair packets on/off",
+		Scenarios:   FECSweep,
+	},
+	"congestion": {
+		Name:        "congestion",
+		Description: "wide-area cross traffic at 0.5x, 1x, 1.5x, 2x the calibrated level",
+		Scenarios: func(base study.Options) []Scenario {
+			return CongestionSweep(base, []float64{0.5, 1, 1.5, 2})
+		},
+	},
+}
+
+// Sweeps lists every registered sweep, sorted by name.
+func Sweeps() []Sweep {
+	out := make([]Sweep, 0, len(sweeps))
+	for _, s := range sweeps {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SweepByName looks a sweep up in the registry.
+func SweepByName(name string) (Sweep, bool) {
+	s, ok := sweeps[name]
+	return s, ok
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"realtracer/internal/campaign"
 	"realtracer/internal/figures"
 	"realtracer/internal/media"
 	"realtracer/internal/netsim"
@@ -33,6 +34,24 @@ type StudyResult = study.Result
 // RunStudy executes the full measurement campaign (63 users, 98 clips, 11
 // servers by default) and returns its per-clip records.
 func RunStudy(opt StudyOptions) (*StudyResult, error) { return study.Run(opt) }
+
+// Scenario is one named study configuration inside a campaign; see
+// campaign.Scenario.
+type Scenario = campaign.Scenario
+
+// CampaignConfig tunes the campaign worker pool; see campaign.Config.
+type CampaignConfig = campaign.Config
+
+// CampaignSummary is a completed multi-scenario campaign.
+type CampaignSummary = campaign.Summary
+
+// RunCampaign executes a set of named scenarios across a bounded worker
+// pool (cfg.Workers, default NumCPU) and returns the merged per-scenario
+// results in input order. Each scenario runs in its own private simulated
+// world, so records are identical whatever the worker count.
+func RunCampaign(scenarios []Scenario, cfg CampaignConfig) *CampaignSummary {
+	return campaign.Run(scenarios, cfg)
+}
 
 // AllFigures regenerates every record-driven figure (5-28) from a trace.
 func AllFigures(recs []*trace.Record) []figures.Figure {

@@ -9,21 +9,13 @@
 package study
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
 	"realtracer/internal/geo"
 	"realtracer/internal/media"
-	"realtracer/internal/netsim"
 	"realtracer/internal/ratecontrol"
-	"realtracer/internal/server"
-	"realtracer/internal/session"
-	"realtracer/internal/simclock"
 	"realtracer/internal/trace"
-	"realtracer/internal/tracer"
-	"realtracer/internal/transport"
-	"realtracer/internal/vclock"
 )
 
 // Options configure a study run. The zero value (plus a seed) reproduces
@@ -50,8 +42,9 @@ type Options struct {
 	// StaggerWindow spreads user start times (default 90 minutes). Overlap
 	// creates shared-bottleneck load at servers.
 	StaggerWindow time.Duration
-	// ServerUplinkKbps overrides the server access capacity (default 2500,
-	// a 2001-era multi-T1 uplink).
+	// ServerUplinkKbps overrides the server access capacity (default 8000,
+	// the shared multi-T1/fractional-T3 uplink the figures were calibrated
+	// against).
 	ServerUplinkKbps float64
 }
 
@@ -81,112 +74,14 @@ type Result struct {
 	Events uint64
 }
 
-// Run executes the campaign and returns its records.
+// Run executes the campaign and returns its records. It is a thin wrapper
+// over the World layer: build the world, drive it to completion.
 func Run(opt Options) (*Result, error) {
-	opt.fill()
-	clock := simclock.New()
-	masterRNG := rand.New(rand.NewSource(opt.Seed))
-
-	sites := geo.Sites()
-	users := geo.Population(opt.Seed + 1)
-	if opt.MaxUsers > 0 && opt.MaxUsers < len(users) {
-		users = users[:opt.MaxUsers]
+	w, err := NewWorld(opt)
+	if err != nil {
+		return nil, err
 	}
-
-	routes := geo.NewRouteTable(sites, users, opt.Seed+2)
-	routes.CongestionScale = opt.CongestionScale
-	net := netsim.New(clock, routes, opt.Seed+3)
-
-	// Bring up the servers and assemble the 98-entry playlist.
-	serverAccess := netsim.DefaultAccessProfile(netsim.AccessServer)
-	serverAccess.UpKbps = opt.ServerUplinkKbps
-	serverAccess.DownKbps = opt.ServerUplinkKbps
-
-	var playlist []tracer.Entry
-	for si, site := range sites {
-		if site.Clips == 0 {
-			continue
-		}
-		net.AddHost(netsim.HostConfig{Name: site.Host, Access: serverAccess})
-		lib := media.GenerateLibrary(site.Host, site.Clips, opt.Seed+100+int64(si))
-		srv := server.New(server.Config{
-			Clock:          vclock.Sim{C: clock},
-			Net:            session.SimNet{Stack: transport.NewStack(net, site.Host)},
-			Library:        lib,
-			Rand:           rand.New(rand.NewSource(masterRNG.Int63())),
-			Unavailability: site.Unavailability,
-			SureStream:     !opt.DisableSureStream,
-			FEC:            !opt.DisableFEC,
-			NewController:  controllerFactory(opt.Controller),
-		})
-		if err := srv.Start(); err != nil {
-			return nil, fmt.Errorf("study: start %s: %w", site.Name, err)
-		}
-		for _, clip := range lib.Clips {
-			playlist = append(playlist, tracer.Entry{
-				URL:         clip.URL,
-				ControlAddr: fmt.Sprintf("%s:%d", site.Host, session.ControlPort),
-				Site:        site,
-			})
-		}
-	}
-	if len(playlist) != geo.PlaylistSize {
-		return nil, fmt.Errorf("study: playlist has %d entries, want %d", len(playlist), geo.PlaylistSize)
-	}
-
-	// Launch every user's RealTracer run, staggered across the window.
-	var records []*trace.Record
-	remaining := len(users)
-	for _, u := range users {
-		u := u
-		userRNG := rand.New(rand.NewSource(masterRNG.Int63()))
-		access := netsim.DefaultAccessProfile(u.Access)
-		if u.Access == netsim.AccessModem {
-			// 2001 modems were a spread of V.90 and V.34 hardware syncing
-			// anywhere from ~26 to ~46 Kbps depending on the line; PPP
-			// framing and compression overhead shave ~10 % off the sync
-			// rate in practice.
-			access.DownKbps = u.ModemKbps * 0.9
-			access.UpKbps = 22 + userRNG.Float64()*9
-		}
-		net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
-		rater := newRater(u, userRNG)
-
-		n := u.ClipsToPlay
-		if opt.ClipCap > 0 && n > opt.ClipCap {
-			n = opt.ClipCap
-		}
-		tr := tracer.New(tracer.Config{
-			Clock:      vclock.Sim{C: clock},
-			Net:        session.SimNet{Stack: transport.NewStack(net, u.Name)},
-			User:       u,
-			Playlist:   playlist[:n],
-			PlayFor:    opt.PlayFor,
-			Preroll:    opt.Preroll,
-			Rand:       userRNG,
-			Rate:       rater.rate,
-			OnRecord:   func(rec *trace.Record) { records = append(records, rec) },
-			OnFinished: func() { remaining-- },
-		})
-		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))
-		clock.At(start, tr.Run)
-	}
-
-	// Run until every user finishes. Stopping on completion (rather than on
-	// queue exhaustion) keeps lingering per-session timers from extending
-	// the run.
-	for remaining > 0 && clock.Step() {
-	}
-	if remaining != 0 {
-		return nil, fmt.Errorf("study: %d users never finished", remaining)
-	}
-	return &Result{
-		Records:     records,
-		Users:       users,
-		Sites:       sites,
-		SimDuration: clock.Now(),
-		Events:      clock.Fired(),
-	}, nil
+	return w.Run()
 }
 
 func controllerFactory(name string) func(float64) ratecontrol.Controller {

@@ -1,0 +1,179 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"realtracer/internal/geo"
+	"realtracer/internal/media"
+	"realtracer/internal/netsim"
+	"realtracer/internal/server"
+	"realtracer/internal/session"
+	"realtracer/internal/simclock"
+	"realtracer/internal/trace"
+	"realtracer/internal/tracer"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// World is one fully-constructed simulated Internet: the discrete-event
+// clock, the wide-area network, the RealServers with their clip libraries,
+// the 98-entry playlist, and every user's RealTracer session already
+// scheduled across the stagger window. A World is single-use: build it with
+// NewWorld, drive it with Run.
+//
+// Each World owns a private clock and network, so independent Worlds can
+// run concurrently on separate goroutines — the property the campaign
+// engine (internal/campaign) exploits to fan scenario sweeps out across
+// workers.
+type World struct {
+	// Options is the (filled) configuration the world was built from.
+	Options Options
+	// Clock is the world's private discrete-event clock.
+	Clock *simclock.Clock
+	// Net is the simulated wide-area network connecting servers and users.
+	Net *netsim.Network
+	// Sites and Users are the server/user geography for this world.
+	Sites []geo.ServerSite
+	Users []*geo.User
+	// Playlist is the assembled 98-entry clip list every user walks.
+	Playlist []tracer.Entry
+
+	records   []*trace.Record
+	remaining int
+	ran       bool
+}
+
+// NewWorld builds the simulated Internet for opt: servers brought up, the
+// playlist assembled, and every user's tracer scheduled on the clock. The
+// returned World has not consumed any virtual time yet; call Run to drive
+// it to completion.
+func NewWorld(opt Options) (*World, error) {
+	opt.fill()
+	w := &World{
+		Options: opt,
+		Clock:   simclock.New(),
+		Sites:   geo.Sites(),
+	}
+	masterRNG := rand.New(rand.NewSource(opt.Seed))
+
+	w.Users = geo.Population(opt.Seed + 1)
+	if opt.MaxUsers > 0 && opt.MaxUsers < len(w.Users) {
+		w.Users = w.Users[:opt.MaxUsers]
+	}
+
+	routes := geo.NewRouteTable(w.Sites, w.Users, opt.Seed+2)
+	routes.CongestionScale = opt.CongestionScale
+	w.Net = netsim.New(w.Clock, routes, opt.Seed+3)
+
+	if err := w.buildServers(masterRNG); err != nil {
+		return nil, err
+	}
+	w.launchUsers(masterRNG)
+	return w, nil
+}
+
+// buildServers brings up the RealServers and assembles the playlist.
+func (w *World) buildServers(masterRNG *rand.Rand) error {
+	opt := w.Options
+	serverAccess := netsim.DefaultAccessProfile(netsim.AccessServer)
+	serverAccess.UpKbps = opt.ServerUplinkKbps
+	serverAccess.DownKbps = opt.ServerUplinkKbps
+
+	for si, site := range w.Sites {
+		if site.Clips == 0 {
+			continue
+		}
+		w.Net.AddHost(netsim.HostConfig{Name: site.Host, Access: serverAccess})
+		lib := media.GenerateLibrary(site.Host, site.Clips, opt.Seed+100+int64(si))
+		srv := server.New(server.Config{
+			Clock:          vclock.Sim{C: w.Clock},
+			Net:            session.SimNet{Stack: transport.NewStack(w.Net, site.Host)},
+			Library:        lib,
+			Rand:           rand.New(rand.NewSource(masterRNG.Int63())),
+			Unavailability: site.Unavailability,
+			SureStream:     !opt.DisableSureStream,
+			FEC:            !opt.DisableFEC,
+			NewController:  controllerFactory(opt.Controller),
+		})
+		if err := srv.Start(); err != nil {
+			return fmt.Errorf("study: start %s: %w", site.Name, err)
+		}
+		for _, clip := range lib.Clips {
+			w.Playlist = append(w.Playlist, tracer.Entry{
+				URL:         clip.URL,
+				ControlAddr: fmt.Sprintf("%s:%d", site.Host, session.ControlPort),
+				Site:        site,
+			})
+		}
+	}
+	if len(w.Playlist) != geo.PlaylistSize {
+		return fmt.Errorf("study: playlist has %d entries, want %d", len(w.Playlist), geo.PlaylistSize)
+	}
+	return nil
+}
+
+// launchUsers schedules every user's RealTracer run, staggered across the
+// window.
+func (w *World) launchUsers(masterRNG *rand.Rand) {
+	opt := w.Options
+	w.remaining = len(w.Users)
+	for _, u := range w.Users {
+		u := u
+		userRNG := rand.New(rand.NewSource(masterRNG.Int63()))
+		access := netsim.DefaultAccessProfile(u.Access)
+		if u.Access == netsim.AccessModem {
+			// 2001 modems were a spread of V.90 and V.34 hardware syncing
+			// anywhere from ~26 to ~46 Kbps depending on the line; PPP
+			// framing and compression overhead shave ~10 % off the sync
+			// rate in practice.
+			access.DownKbps = u.ModemKbps * 0.9
+			access.UpKbps = 22 + userRNG.Float64()*9
+		}
+		w.Net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
+		rater := newRater(u, userRNG)
+
+		n := u.ClipsToPlay
+		if opt.ClipCap > 0 && n > opt.ClipCap {
+			n = opt.ClipCap
+		}
+		tr := tracer.New(tracer.Config{
+			Clock:      vclock.Sim{C: w.Clock},
+			Net:        session.SimNet{Stack: transport.NewStack(w.Net, u.Name)},
+			User:       u,
+			Playlist:   w.Playlist[:n],
+			PlayFor:    opt.PlayFor,
+			Preroll:    opt.Preroll,
+			Rand:       userRNG,
+			Rate:       rater.rate,
+			OnRecord:   func(rec *trace.Record) { w.records = append(w.records, rec) },
+			OnFinished: func() { w.remaining-- },
+		})
+		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))
+		w.Clock.At(start, tr.Run)
+	}
+}
+
+// Run drives the clock until every user finishes and returns the study
+// result. Stopping on completion (rather than on queue exhaustion) keeps
+// lingering per-session timers from extending the run. A World can only be
+// run once.
+func (w *World) Run() (*Result, error) {
+	if w.ran {
+		return nil, fmt.Errorf("study: world already run")
+	}
+	w.ran = true
+	for w.remaining > 0 && w.Clock.Step() {
+	}
+	if w.remaining != 0 {
+		return nil, fmt.Errorf("study: %d users never finished", w.remaining)
+	}
+	return &Result{
+		Records:     w.records,
+		Users:       w.Users,
+		Sites:       w.Sites,
+		SimDuration: w.Clock.Now(),
+		Events:      w.Clock.Fired(),
+	}, nil
+}

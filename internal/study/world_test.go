@@ -1,0 +1,67 @@
+package study
+
+import (
+	"testing"
+
+	"realtracer/internal/geo"
+)
+
+func TestWorldConstruction(t *testing.T) {
+	w, err := NewWorld(Options{Seed: 1, MaxUsers: 4, ClipCap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Playlist) != geo.PlaylistSize {
+		t.Fatalf("playlist has %d entries, want %d", len(w.Playlist), geo.PlaylistSize)
+	}
+	if len(w.Users) != 4 {
+		t.Fatalf("users=%d, want 4", len(w.Users))
+	}
+	if w.Clock.Now() != 0 {
+		t.Fatalf("world consumed virtual time before Run: %v", w.Clock.Now())
+	}
+	if w.Clock.Pending() == 0 {
+		t.Fatal("no users scheduled on the clock")
+	}
+}
+
+func TestWorldSingleUse(t *testing.T) {
+	w, err := NewWorld(Options{Seed: 2, MaxUsers: 2, ClipCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(); err == nil {
+		t.Fatal("second Run on the same world should fail")
+	}
+}
+
+// TestWorldMatchesRun pins the compatibility contract: study.Run is a thin
+// wrapper over NewWorld + Run, so both paths must produce the same study.
+func TestWorldMatchesRun(t *testing.T) {
+	opt := Options{Seed: 13, MaxUsers: 3, ClipCap: 3}
+	w, err := NewWorld(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) || a.Events != b.Events {
+		t.Fatalf("world path (%d records, %d events) differs from Run path (%d records, %d events)",
+			len(a.Records), a.Events, len(b.Records), b.Events)
+	}
+	for i := range a.Records {
+		if a.Records[i].MeasuredFPS != b.Records[i].MeasuredFPS ||
+			a.Records[i].JitterMs != b.Records[i].JitterMs {
+			t.Fatalf("record %d differs between world and Run paths", i)
+		}
+	}
+}
