@@ -122,6 +122,65 @@ func BenchmarkStudyEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkAllFiguresShared builds every figure off one shared aggregate
+// pass — the single-sweep path that replaced 24 per-figure sweeps.
+func BenchmarkAllFiguresShared(b *testing.B) {
+	recs := sharedTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if figs := core.AllFigures(recs); len(figs) != 24 {
+			b.Fatalf("figures=%d", len(figs))
+		}
+	}
+}
+
+// --- Streaming pipeline (population scale) ---
+
+// benchPopulationStream streams a population-scale study through the
+// aggregate pipeline, reporting record throughput alongside the allocation
+// counters — the ceiling this PR removes is records retained per run.
+func benchPopulationStream(b *testing.B, users, clips int) {
+	b.ReportAllocs()
+	var records int
+	for i := 0; i < b.N; i++ {
+		agg, _, err := core.RunStudyAggregates(core.StudyOptions{Seed: 1, MaxUsers: users, ClipCap: clips})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Total() == 0 {
+			b.Fatal("no records streamed")
+		}
+		records += agg.Total()
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkPopulationStream1k is the population-scale benchmark: a
+// 1,000-user study (proportionally scaled population, 2 clips per user)
+// streamed into mergeable aggregates. Memory stays bounded by aggregate
+// size — the sketches fold past their exact caps — no matter how many
+// records flow through.
+func BenchmarkPopulationStream1k(b *testing.B) { benchPopulationStream(b, 1000, 2) }
+
+// BenchmarkPopulationStream250 / BenchmarkPopulationRetain250 contrast the
+// streaming and retain-everything paths at the same moderate scale: same
+// simulation work, different record lifetimes.
+func BenchmarkPopulationStream250(b *testing.B) { benchPopulationStream(b, 250, 2) }
+
+func BenchmarkPopulationRetain250(b *testing.B) {
+	b.ReportAllocs()
+	var records int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunStudy(core.StudyOptions{Seed: 1, MaxUsers: 250, ClipCap: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		records += len(res.Records)
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
+}
+
 // --- Campaign engine (internal/campaign) ---
 
 // stabilityScenarios is the 20-replica multi-seed stability campaign: the

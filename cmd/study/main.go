@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	study [-seed N] [-users N] [-clips N] [-out trace.csv] [-json trace.json]
-//	      [-figure figNN | -figures] [-sites] [-timeline]
+//	study [-seed N] [-users N] [-clips N] [-stream] [-out trace.csv]
+//	      [-json trace.json] [-figure figNN | -figures] [-sites] [-timeline]
 //	      [-sweep NAME|list] [-parallel N]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
@@ -14,6 +14,14 @@
 // multi-scenario campaign (seed replicas or an ablation) through the
 // parallel campaign engine; -parallel bounds its worker pool (0 = all
 // cores). `-sweep list` enumerates the registered sweeps.
+//
+// -stream switches to the population-scale pipeline: records flow straight
+// into mergeable figure aggregates (and, with -out, a streaming CSV writer)
+// as clips complete, so memory is bounded by aggregate size instead of
+// record count. -users may exceed the paper's 63 — the population is
+// scaled proportionally — e.g.:
+//
+//	study -stream -users 1000 -clips 5 -figures
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 
 	"realtracer/internal/campaign"
 	"realtracer/internal/core"
+	"realtracer/internal/figures"
 	"realtracer/internal/geo"
 	"realtracer/internal/stats"
 	"realtracer/internal/trace"
@@ -30,8 +39,9 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "study random seed (one seed = one reproducible campaign)")
-	users := flag.Int("users", 0, "limit number of users (0 = full 63-user population)")
+	users := flag.Int("users", 0, "number of users (0 = the paper's 63; above 63 scales the population proportionally)")
 	clips := flag.Int("clips", 0, "limit clips per user (0 = each user's own playlist progress)")
+	stream := flag.Bool("stream", false, "stream records into mergeable aggregates instead of retaining them (population-scale mode)")
 	out := flag.String("out", "", "write the trace as CSV to this file")
 	jsonOut := flag.String("json", "", "write the trace as JSON to this file")
 	figure := flag.String("figure", "", "regenerate one figure (fig01..fig28)")
@@ -59,7 +69,7 @@ func main() {
 				sweepSeed = *seed
 			}
 		})
-		runSweep(*sweep, sweepSeed, *users, *clips, *parallel)
+		runSweep(*sweep, sweepSeed, *users, *clips, *parallel, *stream)
 		return
 	}
 	if *timeline || *figure == "fig01" {
@@ -74,7 +84,19 @@ func main() {
 		return
 	}
 
-	res, err := core.RunStudy(core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips})
+	opts := core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips}
+	if *stream {
+		if *jsonOut != "" {
+			fatalf("-json needs the retained-records path; use -out for a streaming CSV")
+		}
+		runStreaming(opts, *out, *figure, *figuresAll)
+		return
+	}
+	if *users > geo.PopulationSize {
+		fmt.Fprintf(os.Stderr, "note: retaining every record of a %d-user study; -stream bounds memory by aggregate size\n", *users)
+	}
+
+	res, err := core.RunStudy(opts)
 	if err != nil {
 		fatalf("study: %v", err)
 	}
@@ -115,9 +137,71 @@ func main() {
 	}
 }
 
+// runStreaming executes one study through the streaming pipeline: records
+// flow into a figure-aggregate build (and optionally a CSV file) as clips
+// complete, and nothing is retained.
+func runStreaming(opts core.StudyOptions, out, figure string, figuresAll bool) {
+	agg := figures.NewAggregates()
+	sink := trace.MultiSink{agg}
+	var csvSink *trace.CSVSink
+	var csvFile *os.File
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("create %s: %v", out, err)
+		}
+		csvFile = f
+		csvSink = trace.NewCSVSink(f)
+		sink = append(sink, csvSink)
+	}
+	res, err := core.RunStudyStream(opts, sink)
+	if err != nil {
+		fatalf("study: %v", err)
+	}
+	if csvSink != nil {
+		if err := csvSink.Flush(); err != nil {
+			fatalf("write csv: %v", err)
+		}
+		csvFile.Close()
+		fmt.Printf("streamed %d records to %s\n", csvSink.Count(), out)
+	}
+	switch {
+	case figure != "":
+		fig, err := core.RunFigureAgg(figure, agg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fig.Render(os.Stdout)
+	case figuresAll:
+		core.RenderAllAgg(os.Stdout, agg)
+	default:
+		printStreamSummary(agg, res)
+	}
+}
+
+// printStreamSummary prints the headline numbers straight from the
+// aggregates — the streamed twin of printSummary.
+func printStreamSummary(agg *figures.Aggregates, res *core.StudyResult) {
+	fmt.Printf("study complete (streamed): %d users, %d clip attempts over %v of virtual time (%d events)\n",
+		len(res.Users), agg.Total(), res.SimDuration.Round(1e9), res.Events)
+	fmt.Printf("  played=%d unavailable=%d (%.1f%%) rated=%d\n",
+		agg.Played(), agg.Unavailable(), 100*float64(agg.Unavailable())/float64(agg.Total()), agg.Rated())
+	fmt.Printf("  transport: TCP=%d UDP=%d\n", agg.ProtocolPlayed("TCP"), agg.ProtocolPlayed("UDP"))
+	if cdf, err := agg.FrameRate().CDF(); err == nil {
+		fmt.Printf("  frame rate: mean=%.1f fps, below 3 fps %.0f%%, 15+ fps %.0f%%\n",
+			agg.FrameRate().Mean(), 100*cdf.FractionBelow(3), 100*cdf.FractionAtLeast(15))
+	}
+	if jcdf, err := agg.Jitter().CDF(); err == nil {
+		fmt.Printf("  jitter: <=50ms %.0f%%, >=300ms %.0f%%\n", 100*jcdf.At(50), 100*jcdf.FractionAtLeast(300))
+	}
+	fmt.Println("run with -figures (or -figure figNN) for the full evaluation output")
+}
+
 // runSweep executes one registered campaign sweep across the worker pool
-// and prints a per-scenario summary plus the campaign wall-clock.
-func runSweep(name string, seed int64, users, clips, workers int) {
+// and prints a per-scenario summary plus the campaign wall-clock. In
+// streaming mode each scenario aggregates in place and the partials merge
+// deterministically in input order.
+func runSweep(name string, seed int64, users, clips, workers int, stream bool) {
 	if name == "list" {
 		fmt.Println("registered sweeps:")
 		for _, sw := range campaign.Sweeps() {
@@ -139,25 +223,48 @@ func runSweep(name string, seed int64, users, clips, workers int) {
 	scenarios := sw.Scenarios(base)
 	fmt.Printf("sweep %s: base study %d users x %d clips (seed %d); -users/-clips resize it\n",
 		sw.Name, base.MaxUsers, base.ClipCap, base.Seed)
-	sum := core.RunCampaign(scenarios, core.CampaignConfig{Workers: workers, BaseSeed: base.Seed})
+	cfg := core.CampaignConfig{Workers: workers, BaseSeed: base.Seed}
+	var merged *figures.Aggregates
+	var sum *core.CampaignSummary
+	if stream {
+		merged, sum = core.RunCampaignAggregates(scenarios, cfg)
+	} else {
+		sum = core.RunCampaign(scenarios, cfg)
+	}
 	for _, r := range sum.Results {
 		if r.Err != nil {
 			fmt.Printf("  %-16s FAILED: %v\n", r.Scenario.Name, r.Err)
 			continue
 		}
-		played := trace.Played(r.Result.Records)
-		fps := trace.Values(played, func(rec *trace.Record) float64 { return rec.MeasuredFPS })
-		jit := trace.Values(played, func(rec *trace.Record) float64 { return rec.JitterMs })
-		jcdf, _ := stats.NewCDF(jit)
-		fmt.Printf("  %-16s seed=%-20d attempts=%-4d played=%-4d mean %.1f fps  jitter<=50ms %.0f%%  [%v]\n",
-			r.Scenario.Name, r.Scenario.Options.Seed, len(r.Result.Records), len(played),
-			stats.Mean(fps), 100*jcdf.At(50), r.Elapsed.Round(1e6))
+		if stream {
+			part := r.Sink.(*figures.Aggregates)
+			jcdf, _ := part.Jitter().CDF()
+			printScenarioLine(r, part.Total(), part.Played(), part.FrameRate().Mean(), jcdf)
+		} else {
+			played := trace.Played(r.Result.Records)
+			fps := trace.Values(played, func(rec *trace.Record) float64 { return rec.MeasuredFPS })
+			jit := trace.Values(played, func(rec *trace.Record) float64 { return rec.JitterMs })
+			jcdf, _ := stats.NewCDF(jit)
+			printScenarioLine(r, len(r.Result.Records), len(played), stats.Mean(fps), jcdf)
+		}
+	}
+	if merged != nil {
+		fmt.Printf("  merged: attempts=%d played=%d rated=%d mean %.1f fps across the sweep\n",
+			merged.Total(), merged.Played(), merged.Rated(), merged.FrameRate().Mean())
 	}
 	fmt.Printf("sweep %s: %d scenarios on %d workers in %v\n",
 		sw.Name, len(sum.Results), sum.Workers, sum.Elapsed.Round(1e6))
 	if err := sum.Err(); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// printScenarioLine prints one sweep scenario's summary — the same line
+// whether the stats came from retained records or streamed aggregates.
+func printScenarioLine(r campaign.ScenarioResult, attempts, played int, meanFPS float64, jcdf stats.CDF) {
+	fmt.Printf("  %-16s seed=%-20d attempts=%-4d played=%-4d mean %.1f fps  jitter<=50ms %.0f%%  [%v]\n",
+		r.Scenario.Name, r.Scenario.Options.Seed, attempts, played,
+		meanFPS, 100*jcdf.At(50), r.Elapsed.Round(1e6))
 }
 
 func printSummary(res *core.StudyResult) {

@@ -7,13 +7,16 @@
 // 63-user/11-server measurement campaign whose trace regenerates every
 // figure of the paper's evaluation.
 //
-// Entry points: internal/core (run the study via RunStudy, fan multi-
-// scenario sweeps across a worker pool via RunCampaign, regenerate
-// figures), internal/campaign (the parallel campaign engine: named
-// scenarios, deterministic per-scenario seeds, sweep registry), cmd/study
-// and cmd/realdata (collection and analysis tools — `study -sweep NAME
-// -parallel N` runs a registered campaign sweep), cmd/realserver and
-// cmd/realtracer (live operation over OS sockets). bench_test.go in this
-// directory holds one benchmark per paper figure plus the design ablations,
-// which run as parallel campaigns.
+// Entry points: internal/core (run the study via RunStudy, stream it into
+// mergeable figure aggregates via RunStudyAggregates, fan multi-scenario
+// sweeps across a worker pool via RunCampaign / RunCampaignAggregates,
+// regenerate figures), internal/campaign (the parallel campaign engine:
+// named scenarios, deterministic per-scenario seeds, sweep registry,
+// per-scenario streaming sinks), cmd/study and cmd/realdata (collection
+// and analysis tools — `study -sweep NAME -parallel N` runs a registered
+// campaign sweep; `study -stream -users N` runs a population-scale study
+// with memory bounded by aggregate size), cmd/realserver and cmd/realtracer
+// (live operation over OS sockets). bench_test.go in this directory holds
+// one benchmark per paper figure plus the design ablations and the
+// population-scale streaming benchmarks.
 package realtracer

@@ -41,6 +41,14 @@ type Config struct {
 	// Two campaigns with the same scenarios and BaseSeed produce identical
 	// records regardless of worker count.
 	BaseSeed int64
+	// NewSink, when set, switches the campaign to streaming mode: each
+	// scenario runs with its own freshly-built sink and retains no records
+	// (ScenarioResult.Result.Records is nil; the sink is returned in
+	// ScenarioResult.Sink). Per-scenario sinks make the fan-out race-free
+	// without locks, and merging the partials in input order afterwards is
+	// deterministic no matter how many workers ran — see
+	// core.RunCampaignAggregates.
+	NewSink func() trace.Sink
 }
 
 // ScenarioResult is one scenario's completed study.
@@ -52,6 +60,9 @@ type ScenarioResult struct {
 	// Err is the scenario's failure, if any. One failed scenario does not
 	// abort the others.
 	Err error
+	// Sink is the scenario's record sink in streaming mode (Config.NewSink
+	// set), nil otherwise.
+	Sink trace.Sink
 	// Elapsed is the scenario's wall-clock run time.
 	Elapsed time.Duration
 }
@@ -137,17 +148,28 @@ func Run(scenarios []Scenario, cfg Config) *Summary {
 	return sum
 }
 
-// runScenario executes one scenario in its own private world.
+// runScenario executes one scenario in its own private world. In streaming
+// mode the scenario gets its own sink, so no two workers ever share
+// mutable aggregation state.
 func runScenario(sc Scenario, cfg Config) ScenarioResult {
 	if sc.Options.Seed == 0 {
 		sc.Options.Seed = DeriveSeed(cfg.BaseSeed, sc.Name)
 	}
 	start := time.Now()
-	res, err := study.Run(sc.Options)
+	var res *study.Result
+	var err error
+	var sink trace.Sink
+	if cfg.NewSink != nil {
+		sink = cfg.NewSink()
+		res, err = study.RunStream(sc.Options, sink)
+	} else {
+		res, err = study.Run(sc.Options)
+	}
 	return ScenarioResult{
 		Scenario: sc,
 		Result:   res,
 		Err:      err,
+		Sink:     sink,
 		Elapsed:  time.Since(start),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"realtracer/internal/figures"
 	"realtracer/internal/study"
 	"realtracer/internal/trace"
 )
@@ -83,6 +84,77 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatalf("scenario %s: event counts differ: %d vs %d",
 				scs[i].Name, s.Result.Events, p.Result.Events)
 		}
+	}
+}
+
+// renderMerged merges a streamed campaign's per-scenario aggregate partials
+// in input order and renders every figure from the merged build.
+func renderMerged(t *testing.T, sum *Summary) []byte {
+	t.Helper()
+	merged := figures.NewAggregates()
+	for _, r := range sum.Results {
+		part, ok := r.Sink.(*figures.Aggregates)
+		if !ok {
+			t.Fatalf("scenario %s carries no aggregate sink", r.Scenario.Name)
+		}
+		if r.Result.Records != nil {
+			t.Fatalf("scenario %s retained records in streaming mode", r.Scenario.Name)
+		}
+		merged.Merge(part)
+	}
+	var buf bytes.Buffer
+	for _, g := range figures.All() {
+		g.Agg(merged).Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignStreamedAggregatesDeterministic extends the determinism
+// guarantee to the streaming pipeline: per-scenario partial aggregates,
+// merged in input order, must be identical whether the campaign ran on one
+// worker or on every core — and identical to aggregating the batch-mode
+// records.
+func TestCampaignStreamedAggregatesDeterministic(t *testing.T) {
+	scs := mixedScenarios()
+	newSink := func() trace.Sink { return figures.NewAggregates() }
+
+	serialCfg := Config{BaseSeed: 5, Workers: 1, NewSink: newSink}
+	serial := Run(scs, serialCfg)
+	if err := serial.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	parallelCfg := Config{BaseSeed: 5, Workers: runtime.NumCPU(), NewSink: newSink}
+	if parallelCfg.Workers < 4 {
+		parallelCfg.Workers = 4
+	}
+	parallel := Run(scs, parallelCfg)
+	if err := parallel.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	serialOut := renderMerged(t, serial)
+	if !bytes.Equal(serialOut, renderMerged(t, parallel)) {
+		t.Fatal("streamed aggregates differ between workers=1 and the full pool")
+	}
+
+	// Batch mode over the same scenarios must aggregate to the same figures.
+	batch := Run(scs, Config{BaseSeed: 5, Workers: 1})
+	if err := batch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	merged := figures.NewAggregates()
+	for _, r := range batch.Results {
+		for _, rec := range r.Result.Records {
+			merged.Observe(rec)
+		}
+	}
+	var buf bytes.Buffer
+	for _, g := range figures.All() {
+		g.Agg(merged).Render(&buf)
+	}
+	if !bytes.Equal(serialOut, buf.Bytes()) {
+		t.Fatal("streamed aggregates differ from batch-mode aggregation")
 	}
 }
 

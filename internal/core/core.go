@@ -35,6 +35,22 @@ type StudyResult = study.Result
 // servers by default) and returns its per-clip records.
 func RunStudy(opt StudyOptions) (*StudyResult, error) { return study.Run(opt) }
 
+// RunStudyStream executes the campaign streaming every record into sink as
+// it is produced, retaining none of them — the population-scale path. Set
+// opt.MaxUsers past 63 to run a proportionally scaled population.
+func RunStudyStream(opt StudyOptions, sink trace.Sink) (*StudyResult, error) {
+	return study.RunStream(opt, sink)
+}
+
+// RunStudyAggregates streams one study straight into a figure-aggregate
+// build and returns it alongside the run metadata: every figure and
+// headline statistic without ever materializing the record set.
+func RunStudyAggregates(opt StudyOptions) (*figures.Aggregates, *StudyResult, error) {
+	agg := figures.NewAggregates()
+	res, err := study.RunStream(opt, agg)
+	return agg, res, err
+}
+
 // Scenario is one named study configuration inside a campaign; see
 // campaign.Scenario.
 type Scenario = campaign.Scenario
@@ -53,12 +69,38 @@ func RunCampaign(scenarios []Scenario, cfg CampaignConfig) *CampaignSummary {
 	return campaign.Run(scenarios, cfg)
 }
 
-// AllFigures regenerates every record-driven figure (5-28) from a trace.
+// RunCampaignAggregates executes the campaign in streaming mode: each
+// scenario streams its records into a private figures.Aggregates (no
+// records retained anywhere), and the per-scenario partials are merged in
+// scenario input order — so the merged aggregates are identical no matter
+// how many workers the campaign ran on. The per-scenario partials remain
+// available via the summary's ScenarioResult.Sink fields.
+func RunCampaignAggregates(scenarios []Scenario, cfg CampaignConfig) (*figures.Aggregates, *CampaignSummary) {
+	cfg.NewSink = func() trace.Sink { return figures.NewAggregates() }
+	sum := campaign.Run(scenarios, cfg)
+	merged := figures.NewAggregates()
+	for _, r := range sum.Results {
+		if part, ok := r.Sink.(*figures.Aggregates); ok && r.Err == nil {
+			merged.Merge(part)
+		}
+	}
+	return merged, sum
+}
+
+// AllFigures regenerates every record-driven figure (5-28) from a trace:
+// one aggregate pass over the records, then every generator off the shared
+// aggregates.
 func AllFigures(recs []*trace.Record) []figures.Figure {
+	return AllFiguresAgg(figures.Aggregate(recs))
+}
+
+// AllFiguresAgg regenerates every record-driven figure from a completed
+// aggregate build — the streaming path, where no record slice ever existed.
+func AllFiguresAgg(agg *figures.Aggregates) []figures.Figure {
 	gens := figures.All()
 	out := make([]figures.Figure, 0, len(gens))
 	for _, g := range gens {
-		out = append(out, g.Build(recs))
+		out = append(out, g.Agg(agg))
 	}
 	return out
 }
@@ -72,9 +114,26 @@ func RunFigure(id string, recs []*trace.Record) (figures.Figure, error) {
 	return g.Build(recs), nil
 }
 
+// RunFigureAgg regenerates one figure by id from a completed aggregate
+// build.
+func RunFigureAgg(id string, agg *figures.Aggregates) (figures.Figure, error) {
+	g, ok := figures.ByID(id)
+	if !ok {
+		return figures.Figure{}, fmt.Errorf("core: unknown figure %q", id)
+	}
+	return g.Agg(agg), nil
+}
+
 // RenderAll writes every figure to w.
 func RenderAll(w io.Writer, recs []*trace.Record) {
 	for _, f := range AllFigures(recs) {
+		f.Render(w)
+	}
+}
+
+// RenderAllAgg writes every figure computed from an aggregate build to w.
+func RenderAllAgg(w io.Writer, agg *figures.Aggregates) {
+	for _, f := range AllFiguresAgg(agg) {
 		f.Render(w)
 	}
 }

@@ -3,6 +3,12 @@
 // frame-rate analysis (11, 12, 14, 15, 17, 19), bandwidth (13, 18), the
 // transport mix (16), jitter (20-25) and perceptual quality (26-28).
 //
+// Every generator is backed by a single-pass Aggregates build over the
+// record stream (see aggregates.go): records can be aggregated as they are
+// produced — via the trace.Sink interface — and the figures computed from
+// the aggregate without ever holding the records in memory. The classic
+// Build-from-a-slice path remains for trace files and tests.
+//
 // Each generator returns a Figure holding plottable series plus summary
 // notes; Render prints it as an ASCII table the way the paper's graphs read.
 package figures
@@ -10,7 +16,6 @@ package figures
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"realtracer/internal/stats"
@@ -65,41 +70,47 @@ func cdfSeries(label string, samples []float64) Series {
 	return Series{Label: label, X: xs, Y: fs}
 }
 
-// Generator builds a figure from study records.
+// Generator builds a figure from a study's aggregates.
 type Generator struct {
 	ID    string
 	Title string
-	Build func(recs []*trace.Record) Figure
+	// Agg builds the figure from a completed single-pass aggregate build.
+	Agg func(*Aggregates) Figure
 }
+
+// Build regenerates the figure from raw records: one aggregate pass, then
+// the aggregate-backed builder. Building many figures from the same records
+// is cheaper via a shared Aggregate(recs) and the Agg funcs directly.
+func (g Generator) Build(recs []*trace.Record) Figure { return g.Agg(Aggregate(recs)) }
 
 // All lists every record-driven figure generator in paper order. (Figure 1
 // is a single-session timeline, produced by core.Fig01Timeline.)
 func All() []Generator {
 	return []Generator{
-		{"fig05", "CDF of video clips played per user", Fig05ClipsPerUser},
-		{"fig06", "CDF of video clips rated per user", Fig06RatedPerUser},
-		{"fig07", "Clips played by users from each country", Fig07ByUserCountry},
-		{"fig08", "Clips served by RealServers from each country", Fig08ByServerCountry},
-		{"fig09", "Clips played by U.S. users from each state", Fig09ByUSState},
-		{"fig10", "Fraction of unavailable clips per server", Fig10Unavailable},
-		{"fig11", "CDF of frame rate for all video clips", Fig11FrameRateAll},
-		{"fig12", "CDF of frame rate by end-host network configuration", Fig12FrameRateByAccess},
-		{"fig13", "CDF of bandwidth by end-host network configuration", Fig13BandwidthByAccess},
-		{"fig14", "CDF of frame rate by server geographic region", Fig14FrameRateByServerRegion},
-		{"fig15", "CDF of frame rate by user geographic region", Fig15FrameRateByUserRegion},
-		{"fig16", "Fraction of transport protocols observed", Fig16ProtocolMix},
-		{"fig17", "CDF of frame rate by transport protocol", Fig17FrameRateByProtocol},
-		{"fig18", "CDF of bandwidth by transport protocol", Fig18BandwidthByProtocol},
-		{"fig19", "CDF of frame rate by user PC class", Fig19FrameRateByPC},
-		{"fig20", "CDF of overall jitter", Fig20JitterAll},
-		{"fig21", "CDF of jitter by network configuration", Fig21JitterByAccess},
-		{"fig22", "CDF of jitter by server geographic region", Fig22JitterByServerRegion},
-		{"fig23", "CDF of jitter by user geographic region", Fig23JitterByUserRegion},
-		{"fig24", "CDF of jitter by transport protocol", Fig24JitterByProtocol},
-		{"fig25", "CDF of jitter by observed bandwidth", Fig25JitterByBandwidth},
-		{"fig26", "CDF of overall quality rating", Fig26QualityAll},
-		{"fig27", "CDF of quality by network configuration", Fig27QualityByAccess},
-		{"fig28", "Quality rating vs network bandwidth", Fig28QualityVsBandwidth},
+		{"fig05", "CDF of video clips played per user", (*Aggregates).Fig05ClipsPerUser},
+		{"fig06", "CDF of video clips rated per user", (*Aggregates).Fig06RatedPerUser},
+		{"fig07", "Clips played by users from each country", (*Aggregates).Fig07ByUserCountry},
+		{"fig08", "Clips served by RealServers from each country", (*Aggregates).Fig08ByServerCountry},
+		{"fig09", "Clips played by U.S. users from each state", (*Aggregates).Fig09ByUSState},
+		{"fig10", "Fraction of unavailable clips per server", (*Aggregates).Fig10Unavailable},
+		{"fig11", "CDF of frame rate for all video clips", (*Aggregates).Fig11FrameRateAll},
+		{"fig12", "CDF of frame rate by end-host network configuration", (*Aggregates).Fig12FrameRateByAccess},
+		{"fig13", "CDF of bandwidth by end-host network configuration", (*Aggregates).Fig13BandwidthByAccess},
+		{"fig14", "CDF of frame rate by server geographic region", (*Aggregates).Fig14FrameRateByServerRegion},
+		{"fig15", "CDF of frame rate by user geographic region", (*Aggregates).Fig15FrameRateByUserRegion},
+		{"fig16", "Fraction of transport protocols observed", (*Aggregates).Fig16ProtocolMix},
+		{"fig17", "CDF of frame rate by transport protocol", (*Aggregates).Fig17FrameRateByProtocol},
+		{"fig18", "CDF of bandwidth by transport protocol", (*Aggregates).Fig18BandwidthByProtocol},
+		{"fig19", "CDF of frame rate by user PC class", (*Aggregates).Fig19FrameRateByPC},
+		{"fig20", "CDF of overall jitter", (*Aggregates).Fig20JitterAll},
+		{"fig21", "CDF of jitter by network configuration", (*Aggregates).Fig21JitterByAccess},
+		{"fig22", "CDF of jitter by server geographic region", (*Aggregates).Fig22JitterByServerRegion},
+		{"fig23", "CDF of jitter by user geographic region", (*Aggregates).Fig23JitterByUserRegion},
+		{"fig24", "CDF of jitter by transport protocol", (*Aggregates).Fig24JitterByProtocol},
+		{"fig25", "CDF of jitter by observed bandwidth", (*Aggregates).Fig25JitterByBandwidth},
+		{"fig26", "CDF of overall quality rating", (*Aggregates).Fig26QualityAll},
+		{"fig27", "CDF of quality by network configuration", (*Aggregates).Fig27QualityByAccess},
+		{"fig28", "Quality rating vs network bandwidth", (*Aggregates).Fig28QualityVsBandwidth},
 	}
 }
 
@@ -113,225 +124,108 @@ func ByID(id string) (Generator, bool) {
 	return Generator{}, false
 }
 
-// perUserCounts tallies records per user under pred.
-func perUserCounts(recs []*trace.Record, pred func(*trace.Record) bool) []float64 {
-	counts := map[string]int{}
-	users := map[string]bool{}
-	for _, r := range recs {
-		users[r.User] = true
-		if pred(r) {
-			counts[r.User]++
-		}
-	}
-	out := make([]float64, 0, len(users))
-	for u := range users {
-		out = append(out, float64(counts[u]))
-	}
-	sort.Float64s(out)
-	return out
-}
+// Record-slice entry points for each figure, preserved for callers that
+// analyze an in-memory trace directly.
 
 // Fig05ClipsPerUser: half the users played 40 clips or more.
-func Fig05ClipsPerUser(recs []*trace.Record) Figure {
-	counts := perUserCounts(recs, func(*trace.Record) bool { return true })
-	f := Figure{ID: "fig05", Title: "CDF of video clips played per user",
-		XLabel: "Clips Per User", YLabel: "CDF", Kind: KindCDF,
-		Series: []Series{cdfSeries("all users", counts)}}
-	if s, err := stats.Summarize(counts); err == nil {
-		note(&f, "users=%d median clips=%.0f (paper: half played 40+ of 98)", s.N, s.Median)
-	}
-	return f
-}
+func Fig05ClipsPerUser(recs []*trace.Record) Figure { return Aggregate(recs).Fig05ClipsPerUser() }
 
 // Fig06RatedPerUser: half the users rated about 3 clips.
-func Fig06RatedPerUser(recs []*trace.Record) Figure {
-	counts := perUserCounts(recs, func(r *trace.Record) bool { return r.Rated })
-	f := Figure{ID: "fig06", Title: "CDF of video clips rated per user",
-		XLabel: "Rated Clips Per User", YLabel: "CDF", Kind: KindCDF,
-		Series: []Series{cdfSeries("all users", counts)}}
-	if s, err := stats.Summarize(counts); err == nil {
-		note(&f, "median rated=%.0f total rated=%d (paper: median 3, total 388)", s.Median, len(trace.Rated(recs)))
-	}
-	return f
-}
-
-func barByKey(recs []*trace.Record, key func(*trace.Record) string) Series {
-	counts := map[string]int{}
-	for _, r := range recs {
-		k := key(r)
-		if k != "" {
-			counts[k]++
-		}
-	}
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] < counts[keys[j]] })
-	s := Series{}
-	for _, k := range keys {
-		s.Labels = append(s.Labels, k)
-		s.Y = append(s.Y, float64(counts[k]))
-	}
-	return s
-}
+func Fig06RatedPerUser(recs []*trace.Record) Figure { return Aggregate(recs).Fig06RatedPerUser() }
 
 // Fig07ByUserCountry: the paper's US-dominated country breakdown.
-func Fig07ByUserCountry(recs []*trace.Record) Figure {
-	f := Figure{ID: "fig07", Title: "Clips played by users from each country",
-		XLabel: "Country", YLabel: "Number of Clips", Kind: KindBar,
-		Series: []Series{barByKey(recs, func(r *trace.Record) string { return r.Country })}}
-	s := f.Series[0]
-	if n := len(s.Labels); n > 0 {
-		note(&f, "countries=%d top=%s(%.0f) (paper: 12 countries, US 2100)", n, s.Labels[n-1], s.Y[n-1])
-	}
-	return f
-}
+func Fig07ByUserCountry(recs []*trace.Record) Figure { return Aggregate(recs).Fig07ByUserCountry() }
 
 // Fig08ByServerCountry: US servers served the most clips.
-func Fig08ByServerCountry(recs []*trace.Record) Figure {
-	f := Figure{ID: "fig08", Title: "Clips served by RealServers from each country",
-		XLabel: "Server Country", YLabel: "Number of Clips", Kind: KindBar,
-		Series: []Series{barByKey(recs, func(r *trace.Record) string { return r.ServerCountry })}}
-	s := f.Series[0]
-	if n := len(s.Labels); n > 0 {
-		note(&f, "server countries=%d top=%s(%.0f) (paper: 8 countries, US 1075)", n, s.Labels[n-1], s.Y[n-1])
-	}
-	return f
-}
+func Fig08ByServerCountry(recs []*trace.Record) Figure { return Aggregate(recs).Fig08ByServerCountry() }
 
 // Fig09ByUSState: Massachusetts dominates.
-func Fig09ByUSState(recs []*trace.Record) Figure {
-	us := trace.Filter(recs, func(r *trace.Record) bool { return r.Country == "US" })
-	f := Figure{ID: "fig09", Title: "Clips played by U.S. users from each state",
-		XLabel: "State", YLabel: "Number of Clips", Kind: KindBar,
-		Series: []Series{barByKey(us, func(r *trace.Record) string { return r.State })}}
-	s := f.Series[0]
-	if n := len(s.Labels); n > 0 {
-		note(&f, "states=%d top=%s(%.0f) (paper: MA dominant)", n, s.Labels[n-1], s.Y[n-1])
-	}
-	return f
-}
+func Fig09ByUSState(recs []*trace.Record) Figure { return Aggregate(recs).Fig09ByUSState() }
 
 // Fig10Unavailable: about 10% of clip requests found the clip unavailable.
-func Fig10Unavailable(recs []*trace.Record) Figure {
-	attempts := map[string]int{}
-	unavail := map[string]int{}
-	for _, r := range recs {
-		attempts[r.Server]++
-		if r.Unavailable {
-			unavail[r.Server]++
-		}
-	}
-	servers := make([]string, 0, len(attempts))
-	for s := range attempts {
-		servers = append(servers, s)
-	}
-	sort.Strings(servers)
-	s := Series{}
-	var totalA, totalU int
-	for _, srv := range servers {
-		s.Labels = append(s.Labels, srv)
-		s.Y = append(s.Y, float64(unavail[srv])/float64(attempts[srv]))
-		totalA += attempts[srv]
-		totalU += unavail[srv]
-	}
-	f := Figure{ID: "fig10", Title: "Fraction of unavailable clips per server",
-		XLabel: "Real Server", YLabel: "Fraction Not Available", Kind: KindBar,
-		Series: []Series{s}}
-	note(&f, "overall unavailability=%.1f%% (paper: about 10%%)", 100*float64(totalU)/float64(totalA))
-	return f
-}
+func Fig10Unavailable(recs []*trace.Record) Figure { return Aggregate(recs).Fig10Unavailable() }
 
-// fpsOf / kbpsOf / jitterOf / ratingOf are the column extractors.
-func fpsOf(r *trace.Record) float64    { return r.MeasuredFPS }
-func kbpsOf(r *trace.Record) float64   { return r.MeasuredKbps }
-func jitterOf(r *trace.Record) float64 { return r.JitterMs }
-func ratingOf(r *trace.Record) float64 { return r.Rating }
+// Fig11FrameRateAll: mean ~10 fps; ~25% under 3 fps; ~25% at 15+.
+func Fig11FrameRateAll(recs []*trace.Record) Figure { return Aggregate(recs).Fig11FrameRateAll() }
 
-// Fig11FrameRateAll: mean ~10 fps; ~25% under 3 fps; ~25% at 15+; <1% at
-// full motion.
-func Fig11FrameRateAll(recs []*trace.Record) Figure {
-	fps := trace.Values(trace.Played(recs), fpsOf)
-	f := Figure{ID: "fig11", Title: "CDF of frame rate for all video clips",
-		XLabel: "Frame Rate (fps)", YLabel: "CDF", Kind: KindCDF,
-		Series: []Series{cdfSeries("all clips", fps)}}
-	if c, err := stats.NewCDF(fps); err == nil {
-		s, _ := stats.Summarize(fps)
-		note(&f, "mean=%.1f fps (paper 10)", s.Mean)
-		note(&f, "below 3 fps: %.0f%% (paper ~25%%)", 100*c.FractionBelow(3))
-		note(&f, "at least 15 fps: %.0f%% (paper ~25%%)", 100*c.FractionAtLeast(15))
-		note(&f, "at least 24 fps: %.1f%% (paper <1%%)", 100*c.FractionAtLeast(24))
-	}
-	return f
-}
-
-// splitCDF builds one CDF series per group value.
-func splitCDF(recs []*trace.Record, get func(*trace.Record) float64, group func(*trace.Record) string, order []string) []Series {
-	buckets := map[string][]float64{}
-	for _, r := range recs {
-		g := group(r)
-		if g == "" {
-			continue
-		}
-		buckets[g] = append(buckets[g], get(r))
-	}
-	var out []Series
-	if order == nil {
-		for g := range buckets {
-			order = append(order, g)
-		}
-		sort.Strings(order)
-	}
-	for _, g := range order {
-		if len(buckets[g]) > 0 {
-			out = append(out, cdfSeries(g, buckets[g]))
-		}
-	}
-	return out
-}
-
-// AccessOrder is the paper's access-class ordering.
-var AccessOrder = []string{"56k Modem", "DSL/Cable", "T1/LAN"}
-
-// Fig12FrameRateByAccess: modems far worse; DSL/Cable roughly matches
-// T1/LAN.
+// Fig12FrameRateByAccess: modems far worse; DSL/Cable roughly matches T1.
 func Fig12FrameRateByAccess(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig12", Title: "CDF of frame rate by end-host network configuration",
-		XLabel: "Frame Rate (fps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, fpsOf, func(r *trace.Record) string { return r.Access }, AccessOrder)}
-	for _, s := range f.Series {
-		if len(s.X) == 0 {
-			continue
-		}
-		vals := valuesFor(played, fpsOf, func(r *trace.Record) bool { return r.Access == s.Label })
-		c, err := stats.NewCDF(vals)
-		if err != nil {
-			continue
-		}
-		note(&f, "%s: below 3 fps %.0f%%, 15+ fps %.0f%%", s.Label, 100*c.FractionBelow(3), 100*c.FractionAtLeast(15))
-	}
-	note(&f, "paper: modems >50%% below 3 fps and <10%% at 15 fps; broadband ~20%% below 3, ~30%% at 15")
-	return f
-}
-
-func valuesFor(recs []*trace.Record, get func(*trace.Record) float64, pred func(*trace.Record) bool) []float64 {
-	return trace.Values(trace.Filter(recs, pred), get)
+	return Aggregate(recs).Fig12FrameRateByAccess()
 }
 
 // Fig13BandwidthByAccess: DSL/Cable rarely operates near capacity.
 func Fig13BandwidthByAccess(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig13", Title: "CDF of bandwidth by end-host network configuration",
-		XLabel: "Average Bandwidth (Kbps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, kbpsOf, func(r *trace.Record) string { return r.Access }, AccessOrder)}
-	dsl := valuesFor(played, kbpsOf, func(r *trace.Record) bool { return r.Access == "DSL/Cable" })
-	if c, err := stats.NewCDF(dsl); err == nil {
-		note(&f, "DSL/Cable at 256+ Kbps: %.0f%% of clips (paper: near capacity <10%% of the time)", 100*c.FractionAtLeast(256))
-	}
-	return f
+	return Aggregate(recs).Fig13BandwidthByAccess()
 }
+
+// Fig14FrameRateByServerRegion: server regions differ only slightly.
+func Fig14FrameRateByServerRegion(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig14FrameRateByServerRegion()
+}
+
+// Fig15FrameRateByUserRegion: user region clearly differentiates.
+func Fig15FrameRateByUserRegion(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig15FrameRateByUserRegion()
+}
+
+// Fig16ProtocolMix: over half UDP, 44% TCP.
+func Fig16ProtocolMix(recs []*trace.Record) Figure { return Aggregate(recs).Fig16ProtocolMix() }
+
+// Fig17FrameRateByProtocol: distributions nearly identical.
+func Fig17FrameRateByProtocol(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig17FrameRateByProtocol()
+}
+
+// Fig18BandwidthByProtocol: UDP bandwidth comparable to TCP's over a clip.
+func Fig18BandwidthByProtocol(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig18BandwidthByProtocol()
+}
+
+// Fig19FrameRateByPC: only the oldest machines are the bottleneck.
+func Fig19FrameRateByPC(recs []*trace.Record) Figure { return Aggregate(recs).Fig19FrameRateByPC() }
+
+// Fig20JitterAll: >50% play with imperceptible jitter; ~15% exceed 300 ms.
+func Fig20JitterAll(recs []*trace.Record) Figure { return Aggregate(recs).Fig20JitterAll() }
+
+// Fig21JitterByAccess: modems much worse; DSL slightly beats T1.
+func Fig21JitterByAccess(recs []*trace.Record) Figure { return Aggregate(recs).Fig21JitterByAccess() }
+
+// Fig22JitterByServerRegion: Asia worst; others comparable.
+func Fig22JitterByServerRegion(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig22JitterByServerRegion()
+}
+
+// Fig23JitterByUserRegion: Australia/NZ worst again.
+func Fig23JitterByUserRegion(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig23JitterByUserRegion()
+}
+
+// Fig24JitterByProtocol: TCP and UDP nearly identical smoothness.
+func Fig24JitterByProtocol(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig24JitterByProtocol()
+}
+
+// Fig25JitterByBandwidth: strong correlation between bandwidth and jitter.
+func Fig25JitterByBandwidth(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig25JitterByBandwidth()
+}
+
+// Fig26QualityAll: ratings look uniform with mean ~5.
+func Fig26QualityAll(recs []*trace.Record) Figure { return Aggregate(recs).Fig26QualityAll() }
+
+// Fig27QualityByAccess: modem quality about half of DSL; DSL beats T1.
+func Fig27QualityByAccess(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig27QualityByAccess()
+}
+
+// Fig28QualityVsBandwidth: weak correlation; no low ratings at high
+// bandwidth.
+func Fig28QualityVsBandwidth(recs []*trace.Record) Figure {
+	return Aggregate(recs).Fig28QualityVsBandwidth()
+}
+
+// AccessOrder is the paper's access-class ordering.
+var AccessOrder = []string{"56k Modem", "DSL/Cable", "T1/LAN"}
 
 // ServerRegionOrder and UserRegionOrder follow the paper's legends.
 var (
@@ -339,190 +233,8 @@ var (
 	UserRegionOrder   = []string{"Australia", "US/Canada", "Asia", "Europe"}
 )
 
-// Fig14FrameRateByServerRegion: server regions differ only slightly.
-func Fig14FrameRateByServerRegion(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig14", Title: "CDF of frame rate by server geographic region",
-		XLabel: "Frame Rate (fps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, fpsOf, func(r *trace.Record) string { return r.ServerRegion }, ServerRegionOrder)}
-	var best, worst string
-	bestV, worstV := -1.0, 1e9
-	for _, reg := range ServerRegionOrder {
-		vals := valuesFor(played, fpsOf, func(r *trace.Record) bool { return r.ServerRegion == reg })
-		if len(vals) == 0 {
-			continue
-		}
-		m := stats.Mean(vals)
-		note(&f, "%s: mean %.1f fps (n=%d)", reg, m, len(vals))
-		if m > bestV {
-			bestV, best = m, reg
-		}
-		if m < worstV {
-			worstV, worst = m, reg
-		}
-	}
-	note(&f, "best=%s(%.1f) worst=%s(%.1f) (paper: best ~13, worst ~8; all regions similar)", best, bestV, worst, worstV)
-	return f
-}
-
-// Fig15FrameRateByUserRegion: user region clearly differentiates.
-func Fig15FrameRateByUserRegion(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig15", Title: "CDF of frame rate by user geographic region",
-		XLabel: "Frame Rate (fps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, fpsOf, func(r *trace.Record) string { return r.Region }, UserRegionOrder)}
-	for _, reg := range UserRegionOrder {
-		vals := valuesFor(played, fpsOf, func(r *trace.Record) bool { return r.Region == reg })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: below 3 fps %.0f%%, 15+ %.0f%% (n=%d)", reg, 100*c.FractionBelow(3), 100*c.FractionAtLeast(15), len(vals))
-		}
-	}
-	note(&f, "paper: Australia/NZ worst (75%% below 3 fps); Europe best up to 15 fps")
-	return f
-}
-
-// Fig16ProtocolMix: over half UDP, 44% TCP.
-func Fig16ProtocolMix(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	counts := map[string]int{}
-	for _, r := range played {
-		counts[r.Protocol]++
-	}
-	total := float64(len(played))
-	f := Figure{ID: "fig16", Title: "Fraction of transport protocols observed",
-		Kind: KindPie, Series: []Series{{
-			Labels: []string{"TCP", "UDP"},
-			Y:      []float64{float64(counts["TCP"]) / total, float64(counts["UDP"]) / total},
-		}}}
-	note(&f, "TCP %.0f%% / UDP %.0f%% (paper: TCP 44%%, UDP just over half)",
-		100*float64(counts["TCP"])/total, 100*float64(counts["UDP"])/total)
-	return f
-}
-
 // ProtocolOrder for the protocol splits.
 var ProtocolOrder = []string{"TCP", "UDP"}
-
-// Fig17FrameRateByProtocol: distributions nearly identical.
-func Fig17FrameRateByProtocol(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig17", Title: "CDF of frame rate by transport protocol",
-		XLabel: "Frame Rate (fps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, fpsOf, func(r *trace.Record) string { return r.Protocol }, ProtocolOrder)}
-	for _, proto := range ProtocolOrder {
-		vals := valuesFor(played, fpsOf, func(r *trace.Record) bool { return r.Protocol == proto })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: below 3 fps %.0f%% (paper: TCP ~28%%, UDP ~22%%)", proto, 100*c.FractionBelow(3))
-		}
-	}
-	return f
-}
-
-// Fig18BandwidthByProtocol: UDP bandwidth comparable to TCP's over a clip.
-func Fig18BandwidthByProtocol(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig18", Title: "CDF of bandwidth by transport protocol",
-		XLabel: "Average Bandwidth (Kbps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, kbpsOf, func(r *trace.Record) string { return r.Protocol }, ProtocolOrder)}
-	for _, proto := range ProtocolOrder {
-		vals := valuesFor(played, kbpsOf, func(r *trace.Record) bool { return r.Protocol == proto })
-		note(&f, "%s: mean %.0f Kbps median %.0f", proto, stats.Mean(vals), stats.Quantile(vals, 0.5))
-	}
-	note(&f, "paper: UDP slightly higher than TCP except at the very low end")
-	return f
-}
-
-// Fig19FrameRateByPC: only the oldest machines are the bottleneck.
-func Fig19FrameRateByPC(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig19", Title: "CDF of frame rate by user PC class",
-		XLabel: "Frame Rate (fps)", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(played, fpsOf, func(r *trace.Record) string { return r.PCClass }, nil)}
-	for _, s := range f.Series {
-		vals := valuesFor(played, fpsOf, func(r *trace.Record) bool { return r.PCClass == s.Label })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: above 3 fps %.0f%% (n=%d)", s.Label, 100*c.FractionAtLeast(3), len(vals))
-		}
-	}
-	note(&f, "paper: old Pentium MMX machines above 3 fps only 10-20%% of the time; others not the bottleneck")
-	return f
-}
-
-// Fig20JitterAll: >50% play with imperceptible jitter; ~15% exceed 300 ms.
-func Fig20JitterAll(recs []*trace.Record) Figure {
-	jit := trace.Values(trace.Played(recs), jitterOf)
-	f := Figure{ID: "fig20", Title: "CDF of overall jitter",
-		XLabel: "Jitter (ms)", YLabel: "CDF (%)", Kind: KindCDF,
-		Series: []Series{cdfSeries("all clips", jit)}}
-	if c, err := stats.NewCDF(jit); err == nil {
-		note(&f, "at or under 50 ms: %.0f%% (paper ~52%%)", 100*c.At(50))
-		note(&f, "at or over 300 ms: %.0f%% (paper ~15%%)", 100*c.FractionAtLeast(300))
-	}
-	return f
-}
-
-// Fig21JitterByAccess: modems much worse; DSL slightly beats T1.
-func Fig21JitterByAccess(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig21", Title: "CDF of jitter by network configuration",
-		XLabel: "Jitter (ms)", YLabel: "CDF (%)", Kind: KindCDF,
-		Series: splitCDF(played, jitterOf, func(r *trace.Record) string { return r.Access }, AccessOrder)}
-	for _, acc := range AccessOrder {
-		vals := valuesFor(played, jitterOf, func(r *trace.Record) bool { return r.Access == acc })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: <=50ms %.0f%%, >=300ms %.0f%%", acc, 100*c.At(50), 100*c.FractionAtLeast(300))
-		}
-	}
-	note(&f, "paper: modem jitter-free ~10%% and unacceptable ~45%%; DSL 15%% vs T1 20%% at 300ms")
-	return f
-}
-
-// Fig22JitterByServerRegion: Asia worst; others comparable.
-func Fig22JitterByServerRegion(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig22", Title: "CDF of jitter by server geographic region",
-		XLabel: "Jitter (ms)", YLabel: "CDF (%)", Kind: KindCDF,
-		Series: splitCDF(played, jitterOf, func(r *trace.Record) string { return r.ServerRegion }, ServerRegionOrder)}
-	for _, reg := range ServerRegionOrder {
-		vals := valuesFor(played, jitterOf, func(r *trace.Record) bool { return r.ServerRegion == reg })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: imperceptible (<=50ms) %.0f%%", reg, 100*c.At(50))
-		}
-	}
-	note(&f, "paper: Asia worst (~45%% imperceptible vs ~55%% elsewhere)")
-	return f
-}
-
-// Fig23JitterByUserRegion: Australia/NZ worst again.
-func Fig23JitterByUserRegion(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig23", Title: "CDF of jitter by user geographic region",
-		XLabel: "Jitter (ms)", YLabel: "CDF (%)", Kind: KindCDF,
-		Series: splitCDF(played, jitterOf, func(r *trace.Record) string { return r.Region }, UserRegionOrder)}
-	for _, reg := range UserRegionOrder {
-		vals := valuesFor(played, jitterOf, func(r *trace.Record) bool { return r.Region == reg })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: <=50ms %.0f%%, >=300ms %.0f%%", reg, 100*c.At(50), 100*c.FractionAtLeast(300))
-		}
-	}
-	note(&f, "paper: Australia/NZ worst over both limits; Europe and North America comparable")
-	return f
-}
-
-// Fig24JitterByProtocol: TCP and UDP nearly identical smoothness.
-func Fig24JitterByProtocol(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig24", Title: "CDF of jitter by transport protocol",
-		XLabel: "Jitter (ms)", YLabel: "CDF (%)", Kind: KindCDF,
-		Series: splitCDF(played, jitterOf, func(r *trace.Record) string { return r.Protocol }, ProtocolOrder)}
-	for _, proto := range ProtocolOrder {
-		vals := valuesFor(played, jitterOf, func(r *trace.Record) bool { return r.Protocol == proto })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: <=50ms %.0f%%", proto, 100*c.At(50))
-		}
-	}
-	note(&f, "paper: both protocols provide nearly identical smoothness")
-	return f
-}
 
 // BandwidthBands are Figure 25's buckets.
 var BandwidthBands = []string{"< 10K", "10K - 100K", "> 100K"}
@@ -536,73 +248,6 @@ func bandwidthBand(r *trace.Record) string {
 	default:
 		return BandwidthBands[2]
 	}
-}
-
-// Fig25JitterByBandwidth: strong correlation between bandwidth and jitter.
-func Fig25JitterByBandwidth(recs []*trace.Record) Figure {
-	played := trace.Played(recs)
-	f := Figure{ID: "fig25", Title: "CDF of jitter by observed bandwidth",
-		XLabel: "Jitter (ms)", YLabel: "CDF (%)", Kind: KindCDF,
-		Series: splitCDF(played, jitterOf, bandwidthBand, BandwidthBands)}
-	for _, band := range BandwidthBands {
-		vals := valuesFor(played, jitterOf, func(r *trace.Record) bool { return bandwidthBand(r) == band })
-		if c, err := stats.NewCDF(vals); err == nil {
-			note(&f, "%s: jitter-free %.0f%%, acceptable(<300ms) %.0f%% (n=%d)", band, 100*c.At(50), 100*c.FractionBelow(300), len(vals))
-		}
-	}
-	note(&f, "paper: low bandwidth ~10%% jitter free / 20%% acceptable; high bandwidth ~80%% / ~95%%")
-	return f
-}
-
-// Fig26QualityAll: ratings look uniform with mean ~5.
-func Fig26QualityAll(recs []*trace.Record) Figure {
-	ratings := trace.Values(trace.Rated(recs), ratingOf)
-	f := Figure{ID: "fig26", Title: "CDF of overall quality rating",
-		XLabel: "Quality Rating", YLabel: "CDF", Kind: KindCDF,
-		Series: []Series{cdfSeries("rated clips", ratings)}}
-	if s, err := stats.Summarize(ratings); err == nil {
-		note(&f, "n=%d mean=%.1f (paper: ~388 ratings, mean ~5, near-uniform distribution)", s.N, s.Mean)
-	}
-	return f
-}
-
-// Fig27QualityByAccess: modem quality about half of DSL; DSL beats T1.
-func Fig27QualityByAccess(recs []*trace.Record) Figure {
-	rated := trace.Rated(recs)
-	f := Figure{ID: "fig27", Title: "CDF of quality by network configuration",
-		XLabel: "Quality Rating", YLabel: "CDF", Kind: KindCDF,
-		Series: splitCDF(rated, ratingOf, func(r *trace.Record) string { return r.Access }, AccessOrder)}
-	for _, acc := range AccessOrder {
-		vals := valuesFor(rated, ratingOf, func(r *trace.Record) bool { return r.Access == acc })
-		if len(vals) > 0 {
-			note(&f, "%s: mean rating %.1f (n=%d)", acc, stats.Mean(vals), len(vals))
-		}
-	}
-	note(&f, "paper: modem ratings about half of DSL/Cable; DSL slightly above LAN/T1")
-	return f
-}
-
-// Fig28QualityVsBandwidth: weak correlation; no low ratings at high
-// bandwidth.
-func Fig28QualityVsBandwidth(recs []*trace.Record) Figure {
-	rated := trace.Rated(recs)
-	xs := trace.Values(rated, kbpsOf)
-	ys := trace.Values(rated, ratingOf)
-	f := Figure{ID: "fig28", Title: "Quality rating vs network bandwidth",
-		XLabel: "Average Bandwidth (Kbps)", YLabel: "Quality Rating", Kind: KindScatter,
-		Series: []Series{{Label: "clips", X: xs, Y: ys}}}
-	centers, means := stats.ScatterBin(xs, ys, 8)
-	f.Series = append(f.Series, Series{Label: "binned mean", X: centers, Y: means})
-	r := stats.Pearson(xs, ys)
-	note(&f, "pearson r=%.2f (paper: no strong visual correlation, slight upward trend)", r)
-	var lowHigh int
-	for i := range xs {
-		if xs[i] > 250 && ys[i] < 3 {
-			lowHigh++
-		}
-	}
-	note(&f, "ratings <3 at >250 Kbps: %d (paper: notable lack of low ratings at high bandwidth)", lowHigh)
-	return f
 }
 
 // Render prints the figure as text: notes, then the series as aligned

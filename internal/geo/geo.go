@@ -191,12 +191,52 @@ var usStates = []struct {
 
 // Population generates the study's user population deterministically from
 // seed. Totals follow the paper: 63 users, 12 countries.
-func Population(seed int64) []*User {
+func Population(seed int64) []*User { return PopulationN(seed, PopulationSize) }
+
+// PopulationSize is the paper's participant count.
+const PopulationSize = 63
+
+// apportion scales the per-country user counts to a population of n by
+// largest-remainder apportionment over the paper's 63-user mix. For n = 63
+// it reproduces the paper's counts exactly.
+func apportion(n int) []int {
+	counts := make([]int, len(plans))
+	rems := make([]float64, len(plans))
+	given := 0
+	for i, plan := range plans {
+		q := float64(n) * float64(plan.users) / float64(PopulationSize)
+		counts[i] = int(q)
+		rems[i] = q - float64(counts[i])
+		given += counts[i]
+	}
+	for given < n {
+		best := -1
+		for i := range plans {
+			if best < 0 || rems[i] > rems[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rems[best] = -1
+		given++
+	}
+	return counts
+}
+
+// PopulationN generates a population of n users deterministically from
+// seed, preserving the paper's country mix by proportional apportionment —
+// the knob that scales a study past the original 63-participant panel.
+// PopulationN(seed, 63) is identical to Population(seed).
+func PopulationN(seed int64, n int) []*User {
+	if n <= 0 {
+		n = PopulationSize
+	}
+	counts := apportion(n)
 	rng := rand.New(rand.NewSource(seed))
 	var users []*User
 	i := 0
-	for _, plan := range plans {
-		for u := 0; u < plan.users; u++ {
+	for pi, plan := range plans {
+		for u := 0; u < counts[pi]; u++ {
 			user := &User{
 				Name:    fmt.Sprintf("user%02d.%s", i, sanitize(plan.country)),
 				Country: plan.country,

@@ -44,6 +44,56 @@ func TestPopulationShape(t *testing.T) {
 	}
 }
 
+func TestPopulationNMatchesPopulationAt63(t *testing.T) {
+	a, b := Population(3), PopulationN(3, 63)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("user %d differs between Population and PopulationN(63)", i)
+		}
+	}
+}
+
+func TestPopulationNScalesCountryMix(t *testing.T) {
+	for _, n := range []int{1, 10, 63, 200, 1000} {
+		users := PopulationN(4, n)
+		if len(users) != n {
+			t.Fatalf("PopulationN(%d) produced %d users", n, len(users))
+		}
+		names := map[string]bool{}
+		byCountry := map[string]int{}
+		for _, u := range users {
+			if names[u.Name] {
+				t.Fatalf("n=%d: duplicate user name %s", n, u.Name)
+			}
+			names[u.Name] = true
+			byCountry[u.Country]++
+			if u.ClipsToPlay < 1 || u.ClipsToPlay > PlaylistSize || u.ClipsToRate > u.ClipsToPlay {
+				t.Fatalf("n=%d: implausible user %+v", n, u)
+			}
+		}
+		if n >= 63 {
+			// The paper's mix: US dominates at roughly 38/63 of the panel.
+			us := float64(byCountry["US"]) / float64(n)
+			if us < 0.5 || us > 0.7 {
+				t.Fatalf("n=%d: US share %.2f strayed from the paper's 60%%", n, us)
+			}
+			if len(byCountry) != 12 {
+				t.Fatalf("n=%d: countries=%d want 12", n, len(byCountry))
+			}
+		}
+	}
+	// Deterministic for the same seed, different for different seeds.
+	a, b := PopulationN(4, 200), PopulationN(4, 200)
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatal("PopulationN not deterministic")
+		}
+	}
+}
+
 func TestPopulationDeterministic(t *testing.T) {
 	a, b := Population(5), Population(5)
 	for i := range a {

@@ -171,6 +171,122 @@ func TestPropertyOrderedExecution(t *testing.T) {
 	}
 }
 
+// TestRunUntilReapsCancelledHead: a cancelled event sitting at the head of
+// the queue is popped and discarded by RunUntil — even when its timestamp
+// lies beyond the horizon, since the reap happens before the horizon check.
+func TestRunUntilReapsCancelledHead(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.At(time.Second, func() { fired = true })
+	far := c.At(5*time.Second, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("pending=%d want 2", c.Pending())
+	}
+	e.Cancel()
+	// Cancelled but not yet reaped: still counted.
+	if c.Pending() != 2 {
+		t.Fatalf("pending=%d want 2 (cancelled events count until reaped)", c.Pending())
+	}
+	c.RunUntil(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d want 1 after RunUntil reaped the cancelled head", c.Pending())
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("Now=%v want 2s", c.Now())
+	}
+	// A cancelled head beyond the horizon is reaped too.
+	far.Cancel()
+	c.RunUntil(3 * time.Second)
+	if c.Pending() != 0 {
+		t.Fatalf("pending=%d want 0 (beyond-horizon cancelled head reaped)", c.Pending())
+	}
+}
+
+// TestPendingCountsCancelledBehindLiveEvents: a cancelled event that is not
+// at the queue head is NOT reaped by RunUntil — Pending includes it until
+// the queue drains past it, and Fired never counts it.
+func TestPendingCountsCancelledBehindLiveEvents(t *testing.T) {
+	c := New()
+	var order []string
+	c.At(3*time.Second, func() { order = append(order, "live") })
+	e := c.At(5*time.Second, func() { order = append(order, "cancelled") })
+	e.Cancel()
+	c.RunUntil(time.Second)
+	// Head (3s, live) is beyond the horizon, so nothing was popped: the
+	// cancelled 5s event is still buried and still counted.
+	if c.Pending() != 2 {
+		t.Fatalf("pending=%d want 2 (cancelled-but-unreaped behind a live head)", c.Pending())
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() lost the flag while queued")
+	}
+	c.RunUntil(10 * time.Second)
+	if len(order) != 1 || order[0] != "live" {
+		t.Fatalf("fired=%v want only the live event", order)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending=%d want 0 after the queue drained", c.Pending())
+	}
+	if c.Fired() != 1 {
+		t.Fatalf("Fired=%d want 1: cancelled events must not count as fired", c.Fired())
+	}
+	// The clock advances to the horizon, not to the cancelled event's time.
+	if c.Now() != 10*time.Second {
+		t.Fatalf("Now=%v want 10s", c.Now())
+	}
+}
+
+// TestStepSkipsCancelledRuns: Step pops through consecutive cancelled
+// events without firing them and reports false on an all-cancelled queue.
+func TestStepSkipsCancelledRuns(t *testing.T) {
+	c := New()
+	for i := 0; i < 5; i++ {
+		c.After(time.Duration(i)*time.Millisecond, func() {}).Cancel()
+	}
+	live := 0
+	c.After(10*time.Millisecond, func() { live++ })
+	if !c.Step() {
+		t.Fatal("Step found no live event behind the cancelled run")
+	}
+	if live != 1 || c.Pending() != 0 || c.Fired() != 1 {
+		t.Fatalf("live=%d pending=%d fired=%d", live, c.Pending(), c.Fired())
+	}
+	// All-cancelled queue: Step reaps everything and reports false.
+	for i := 0; i < 3; i++ {
+		c.After(time.Millisecond, func() {}).Cancel()
+	}
+	if c.Step() {
+		t.Fatal("Step fired from an all-cancelled queue")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending=%d want 0 after Step reaped the cancelled run", c.Pending())
+	}
+}
+
+// TestCancelAfterFireIsNoOp: cancelling an event that already fired neither
+// panics nor perturbs the clock.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	c := New()
+	n := 0
+	e := c.After(time.Millisecond, func() { n++ })
+	c.Run()
+	e.Cancel()
+	if n != 1 {
+		t.Fatalf("fired %d times", n)
+	}
+	if !e.Cancelled() {
+		t.Fatal("post-fire Cancel should still mark the event")
+	}
+	var nilEvent *Event
+	nilEvent.Cancel() // nil-safe
+	if nilEvent.Cancelled() {
+		t.Fatal("nil event reports cancelled")
+	}
+}
+
 func TestNegativeAfterClampsToZero(t *testing.T) {
 	c := New()
 	fired := false

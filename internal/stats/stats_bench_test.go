@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// benchSample is a fixed pseudo-random input shared by the benchmarks.
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	return xs
+}
+
+// summarizeTwoPass is the previous Summarize: min/max branches inside the
+// summation pass, then Quantile sorting its own private O(n log n) copy for
+// the median. Kept here so the benchmark pair records the win of the
+// quickselect version.
+func summarizeTwoPass(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// TestSummarizeMatchesTwoPass pins that the optimization changed nothing
+// observable.
+func TestSummarizeMatchesTwoPass(t *testing.T) {
+	xs := benchSample(997)
+	got, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := summarizeTwoPass(xs)
+	if got != want {
+		t.Fatalf("optimized Summarize diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPropertySummarizeEquivalence: the quickselect median agrees with the
+// sort-based one on every input shape — odd/even lengths, duplicates,
+// constant runs.
+func TestPropertySummarizeEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			if rng.Float64() < 0.3 {
+				xs[i] = float64(rng.Intn(5)) // force duplicates
+			} else {
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+		got, _ := Summarize(xs)
+		want, _ := summarizeTwoPass(xs)
+		if got != want {
+			t.Fatalf("seed %d n=%d: %+v vs %+v", seed, n, got, want)
+		}
+		if got.Median != Quantile(xs, 0.5) {
+			t.Fatalf("seed %d: median %v != Quantile %v", seed, got.Median, Quantile(xs, 0.5))
+		}
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchSample(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarizeTwoPass(b *testing.B) {
+	xs := benchSample(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := summarizeTwoPass(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchAdd measures the streaming accumulators' per-sample cost
+// on the binned path — the hot loop of a population-scale study.
+func BenchmarkSketchAdd(b *testing.B) {
+	xs := benchSample(4096)
+	s := NewSketchAccuracy(DefaultSketchAlpha, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i%len(xs)])
+	}
+}
+
+func BenchmarkDistAdd(b *testing.B) {
+	xs := benchSample(4096)
+	d := NewDist()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(xs[i%len(xs)])
+	}
+}

@@ -1,0 +1,83 @@
+package study
+
+import (
+	"bytes"
+	"testing"
+
+	"realtracer/internal/trace"
+)
+
+// TestRunStreamMatchesRun pins the sink refactor's compatibility contract:
+// streaming through a Collector sink must reproduce study.Run's records
+// byte-for-byte, in the same order.
+func TestRunStreamMatchesRun(t *testing.T) {
+	opt := Options{Seed: 17, MaxUsers: 5, ClipCap: 4}
+	batch, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col trace.Collector
+	streamed, err := RunStream(opt, &col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Records != nil {
+		t.Fatal("RunStream should not retain records in the Result")
+	}
+	if streamed.Events != batch.Events || streamed.SimDuration != batch.SimDuration {
+		t.Fatalf("stream run diverged: events %d vs %d", streamed.Events, batch.Events)
+	}
+	var a, b bytes.Buffer
+	if err := trace.WriteCSV(&a, batch.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(&b, col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("streamed records differ from batch records")
+	}
+}
+
+// TestRunStreamBoundedMemory: with a counting sink no record survives the
+// run — the Result must not hold them anywhere.
+func TestRunStreamCountsOnly(t *testing.T) {
+	n := 0
+	res, err := RunStream(Options{Seed: 17, MaxUsers: 3, ClipCap: 3},
+		trace.SinkFunc(func(*trace.Record) { n++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("sink observed no records")
+	}
+	if res.Records != nil {
+		t.Fatal("Result retained records despite streaming sink")
+	}
+}
+
+// TestWorldExpandsPopulation: MaxUsers beyond the paper's 63 builds a
+// proportionally scaled population instead of truncating.
+func TestWorldExpandsPopulation(t *testing.T) {
+	w, err := NewWorld(Options{Seed: 1, MaxUsers: 80, ClipCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Users) != 80 {
+		t.Fatalf("users=%d want 80", len(w.Users))
+	}
+	seen := map[string]bool{}
+	for _, u := range w.Users {
+		if seen[u.Name] {
+			t.Fatalf("duplicate user %s in expanded population", u.Name)
+		}
+		seen[u.Name] = true
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) < 80 {
+		t.Fatalf("expanded population produced only %d records", len(res.Records))
+	}
+}

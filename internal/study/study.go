@@ -84,6 +84,20 @@ func Run(opt Options) (*Result, error) {
 	return w.Run()
 }
 
+// RunStream executes the campaign streaming every record into sink as its
+// clip completes, retaining nothing: the run's memory footprint is bounded
+// by the sink's own state (aggregates, a file buffer) rather than the
+// record count — the path that scales the study to arbitrary populations.
+// The returned Result carries the run's metadata but a nil Records slice.
+func RunStream(opt Options, sink trace.Sink) (*Result, error) {
+	w, err := NewWorld(opt)
+	if err != nil {
+		return nil, err
+	}
+	w.SetSink(sink)
+	return w.Run()
+}
+
 func controllerFactory(name string) func(float64) ratecontrol.Controller {
 	lim := ratecontrol.DefaultLimits()
 	switch name {

@@ -40,7 +40,8 @@ type World struct {
 	// Playlist is the assembled 98-entry clip list every user walks.
 	Playlist []tracer.Entry
 
-	records   []*trace.Record
+	sink      trace.Sink
+	collector *trace.Collector
 	remaining int
 	ran       bool
 }
@@ -56,11 +57,19 @@ func NewWorld(opt Options) (*World, error) {
 		Clock:   simclock.New(),
 		Sites:   geo.Sites(),
 	}
+	w.collector = &trace.Collector{}
+	w.sink = w.collector
 	masterRNG := rand.New(rand.NewSource(opt.Seed))
 
-	w.Users = geo.Population(opt.Seed + 1)
-	if opt.MaxUsers > 0 && opt.MaxUsers < len(w.Users) {
-		w.Users = w.Users[:opt.MaxUsers]
+	if opt.MaxUsers > geo.PopulationSize {
+		// Scale past the paper's 63-participant panel: a proportionally
+		// apportioned population at the requested size.
+		w.Users = geo.PopulationN(opt.Seed+1, opt.MaxUsers)
+	} else {
+		w.Users = geo.Population(opt.Seed + 1)
+		if opt.MaxUsers > 0 && opt.MaxUsers < len(w.Users) {
+			w.Users = w.Users[:opt.MaxUsers]
+		}
 	}
 
 	routes := geo.NewRouteTable(w.Sites, w.Users, opt.Seed+2)
@@ -147,12 +156,26 @@ func (w *World) launchUsers(masterRNG *rand.Rand) {
 			Preroll:    opt.Preroll,
 			Rand:       userRNG,
 			Rate:       rater.rate,
-			OnRecord:   func(rec *trace.Record) { w.records = append(w.records, rec) },
+			OnRecord:   func(rec *trace.Record) { w.sink.Observe(rec) },
 			OnFinished: func() { w.remaining-- },
 		})
 		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))
 		w.Clock.At(start, tr.Run)
 	}
+}
+
+// SetSink redirects the world's record stream into s: each record is
+// handed to the sink as its clip completes and is NOT retained, so the
+// run's memory is bounded by the sink's own state instead of the record
+// count. Call before Run; the returned Result then carries a nil Records
+// slice. The default sink is a trace.Collector, which preserves the
+// classic retain-everything Result.
+func (w *World) SetSink(s trace.Sink) {
+	if s == nil {
+		return
+	}
+	w.sink = s
+	w.collector = nil
 }
 
 // Run drives the clock until every user finishes and returns the study
@@ -169,11 +192,14 @@ func (w *World) Run() (*Result, error) {
 	if w.remaining != 0 {
 		return nil, fmt.Errorf("study: %d users never finished", w.remaining)
 	}
-	return &Result{
-		Records:     w.records,
+	res := &Result{
 		Users:       w.Users,
 		Sites:       w.Sites,
 		SimDuration: w.Clock.Now(),
 		Events:      w.Clock.Fired(),
-	}, nil
+	}
+	if w.collector != nil {
+		res.Records = w.collector.Records()
+	}
+	return res, nil
 }

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// Sink consumes per-clip records as they are produced. The streaming
+// pipeline hands each completed clip's record to a Sink instead of
+// retaining it, so a study's memory footprint is bounded by what the sink
+// keeps (aggregate state, a file buffer) rather than by the record count.
+//
+// Observe is called from the single simulation goroutine of one world, in
+// deterministic record order; a sink shared across worlds must be
+// synchronized by the caller (the campaign engine avoids this by giving
+// each scenario its own sink and merging afterwards).
+type Sink interface {
+	Observe(*Record)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(*Record)
+
+// Observe implements Sink.
+func (f SinkFunc) Observe(r *Record) { f(r) }
+
+// Collector is the retain-everything Sink: it preserves the classic
+// records-slice API for small studies and tests.
+type Collector struct {
+	records []*Record
+}
+
+// Observe implements Sink.
+func (c *Collector) Observe(r *Record) { c.records = append(c.records, r) }
+
+// Records returns the collected records in observation order.
+func (c *Collector) Records() []*Record { return c.records }
+
+// MultiSink fans every record out to each sink in order.
+type MultiSink []Sink
+
+// Observe implements Sink.
+func (m MultiSink) Observe(r *Record) {
+	for _, s := range m {
+		s.Observe(r)
+	}
+}
+
+// CSVSink streams records to w as CSV rows, writing the header up front and
+// each record as it is observed — constant memory no matter how many
+// records flow through, and byte-compatible with WriteCSV (including the
+// header-only file of a zero-record stream). Call Flush (and check its
+// error) when the study completes.
+type CSVSink struct {
+	cw  *csv.Writer
+	n   int
+	err error
+}
+
+// NewCSVSink returns a streaming CSV writer sink with the header row
+// already written (buffered until the first Flush).
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{cw: csv.NewWriter(w)}
+	s.err = s.cw.Write(Header)
+	return s
+}
+
+// Observe implements Sink.
+func (s *CSVSink) Observe(r *Record) {
+	if s.err != nil {
+		return
+	}
+	s.n++
+	s.err = s.cw.Write(r.row())
+}
+
+// Count returns how many records have been observed.
+func (s *CSVSink) Count() int { return s.n }
+
+// Flush writes buffered rows through and returns the first error seen.
+func (s *CSVSink) Flush() error {
+	s.cw.Flush()
+	if s.err != nil {
+		return s.err
+	}
+	return s.cw.Error()
+}
