@@ -230,6 +230,37 @@ func benchCampaignWorkers(b *testing.B, workers int) {
 func BenchmarkCampaignSerial(b *testing.B)   { benchCampaignWorkers(b, 1) }
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaignWorkers(b, 0) }
 
+// benchCampaignDynamics runs one fault-injection sweep family through the
+// streaming campaign engine, reporting record throughput and allocations —
+// the cost of simulating weather on top of the static Internet.
+func benchCampaignDynamics(b *testing.B, family string) {
+	b.ReportAllocs()
+	sw, ok := campaign.SweepByName(family)
+	if !ok {
+		b.Fatalf("unknown sweep %s", family)
+	}
+	scs := sw.Scenarios(campaign.ReducedBase(9))
+	var records int
+	for i := 0; i < b.N; i++ {
+		merged, sum := core.RunCampaignAggregates(scs, core.CampaignConfig{BaseSeed: 9})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if len(merged.Robustness()) < 2 {
+			b.Fatal("robustness breakdown missing conditions")
+		}
+		records += merged.Total()
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
+}
+
+// BenchmarkCampaignDynamicsLossburst / ...Outage time the two heaviest
+// dynamics families (per-packet Gilbert–Elliott chains; rolling outages
+// with degradation shoulders) against BenchmarkCampaignSerial's static
+// baseline.
+func BenchmarkCampaignDynamicsLossburst(b *testing.B) { benchCampaignDynamics(b, "lossburst") }
+func BenchmarkCampaignDynamicsOutage(b *testing.B)    { benchCampaignDynamics(b, "outage") }
+
 // --- Ablations (DESIGN.md section 4) ---
 
 var ablationOnce sync.Map

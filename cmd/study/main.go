@@ -5,7 +5,7 @@
 //
 //	study [-seed N] [-users N] [-clips N] [-stream] [-out trace.csv]
 //	      [-json trace.json] [-figure figNN | -figures] [-sites] [-timeline]
-//	      [-sweep NAME|list] [-parallel N]
+//	      [-sweep NAME|list] [-parallel N] [-dynamics NAME|list] [-intensity K]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
 // regenerates one figure; -figures all of them; -timeline runs the single-
@@ -14,6 +14,13 @@
 // multi-scenario campaign (seed replicas or an ablation) through the
 // parallel campaign engine; -parallel bounds its worker pool (0 = all
 // cores). `-sweep list` enumerates the registered sweeps.
+//
+// -dynamics applies a named network-dynamics profile (time-varying weather:
+// outages, flash crowds, loss bursts, diurnal cycles, route flaps) to the
+// simulated Internet; -intensity scales it. `-dynamics list` enumerates the
+// catalog. The fault-injection sweep families (outage, flashcrowd,
+// lossburst, diurnal) run the same profiles across intensity levels against
+// a dynamics-off control arm via -sweep.
 //
 // -stream switches to the population-scale pipeline: records flow straight
 // into mergeable figure aggregates (and, with -out, a streaming CSV writer)
@@ -34,6 +41,7 @@ import (
 	"realtracer/internal/figures"
 	"realtracer/internal/geo"
 	"realtracer/internal/stats"
+	"realtracer/internal/study"
 	"realtracer/internal/trace"
 )
 
@@ -50,15 +58,27 @@ func main() {
 	timeline := flag.Bool("timeline", false, "run the Figure-1 single-session timeline, then exit")
 	sweep := flag.String("sweep", "", "run a named campaign sweep over a reduced 14-user/8-clip base study at calibration seed 9 (\"list\" to enumerate; -seed/-users/-clips resize the base)")
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = all cores)")
+	dynamics := flag.String("dynamics", "", "apply a named network-dynamics profile to the run (\"list\" to enumerate the catalog)")
+	intensity := flag.Float64("intensity", 0, "dynamics profile intensity (0 = the calibrated 1x)")
 	flag.Parse()
 
 	if *sites {
 		printSites(*seed)
 		return
 	}
+	if *dynamics == "list" {
+		fmt.Println("network-dynamics profiles:")
+		for _, p := range study.DynamicsProfiles() {
+			fmt.Printf("  %-12s %s\n", p.Name, p.Description)
+		}
+		return
+	}
 	if *sweep != "" {
 		if *out != "" || *jsonOut != "" || *figure != "" || *figuresAll || *timeline {
 			fatalf("-sweep is incompatible with -out/-json/-figure/-figures/-timeline")
+		}
+		if *dynamics != "" {
+			fatalf("-sweep is incompatible with -dynamics: the fault-injection sweep families (outage, flashcrowd, lossburst, diurnal) set their own profiles")
 		}
 		// Unless -seed was given explicitly, sweeps run at the seed-9
 		// calibration base the ablation benches record, not the study
@@ -84,7 +104,8 @@ func main() {
 		return
 	}
 
-	opts := core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips}
+	opts := core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips,
+		Dynamics: *dynamics, DynamicsIntensity: *intensity}
 	if *stream {
 		if *jsonOut != "" {
 			fatalf("-json needs the retained-records path; use -out for a streaming CSV")
@@ -248,14 +269,34 @@ func runSweep(name string, seed int64, users, clips, workers int, stream bool) {
 			printScenarioLine(r, len(r.Result.Records), len(played), stats.Mean(fps), jcdf)
 		}
 	}
-	if merged != nil {
+	if merged == nil {
+		// Retained mode: fold the records into aggregates anyway so the
+		// robustness breakdown prints either way.
+		merged = figures.Aggregate(sum.Records())
+	} else {
 		fmt.Printf("  merged: attempts=%d played=%d rated=%d mean %.1f fps across the sweep\n",
 			merged.Total(), merged.Played(), merged.Rated(), merged.FrameRate().Mean())
 	}
+	printRobustness(merged)
 	fmt.Printf("sweep %s: %d scenarios on %d workers in %v\n",
 		sw.Name, len(sum.Results), sum.Workers, sum.Elapsed.Round(1e6))
 	if err := sum.Err(); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// printRobustness prints the per-dynamics-condition robustness breakdown:
+// how delivery degraded (or did not) under each network-weather regime. A
+// single steady condition prints nothing — there is no contrast to show.
+func printRobustness(agg *figures.Aggregates) {
+	rows := agg.Robustness()
+	if len(rows) < 2 {
+		return
+	}
+	fmt.Println("  robustness by dynamics condition (per played clip):")
+	for _, r := range rows {
+		fmt.Printf("    %-16s played=%-4d failed=%-3d rebuffers mean=%.2f p90=%.0f  switches mean=%.2f  %.1f fps\n",
+			r.Condition, r.Played, r.Failed, r.MeanRebuffers, r.P90Rebuffers, r.MeanSwitches, r.MeanFPS)
 	}
 }
 

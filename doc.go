@@ -7,6 +7,17 @@
 // 63-user/11-server measurement campaign whose trace regenerates every
 // figure of the paper's evaluation.
 //
+// The network is not static: internal/netsim's dynamics layer scripts
+// time-varying weather — link outages and degradation windows, bottleneck
+// capacity ramps, diurnal and flash-crowd cross-traffic profiles,
+// Gilbert–Elliott loss bursts, mid-session route-delay shifts — as a
+// deterministic, seeded schedule over named paths and hosts. internal/study
+// names intensity-scaled profiles (outage, flashcrowd, lossburst, diurnal,
+// routeflap), the campaign registry turns them into fault-injection sweeps
+// with dynamics-off control arms, and figures.Aggregates breaks robustness
+// (rebuffers, stream switches, surviving frame rate) down per condition.
+// With dynamics off, output is byte-identical to a build without the layer.
+//
 // Entry points: internal/core (run the study via RunStudy, stream it into
 // mergeable figure aggregates via RunStudyAggregates, fan multi-scenario
 // sweeps across a worker pool via RunCampaign / RunCampaignAggregates,
@@ -14,9 +25,11 @@
 // named scenarios, deterministic per-scenario seeds, sweep registry,
 // per-scenario streaming sinks), cmd/study and cmd/realdata (collection
 // and analysis tools — `study -sweep NAME -parallel N` runs a registered
-// campaign sweep; `study -stream -users N` runs a population-scale study
-// with memory bounded by aggregate size), cmd/realserver and cmd/realtracer
-// (live operation over OS sockets). bench_test.go in this directory holds
-// one benchmark per paper figure plus the design ablations and the
-// population-scale streaming benchmarks.
+// campaign sweep; `study -dynamics NAME` applies a weather profile;
+// `study -stream -users N` runs a population-scale study with memory
+// bounded by aggregate size), cmd/realserver and cmd/realtracer (live
+// operation over OS sockets). bench_test.go in this directory holds one
+// benchmark per paper figure plus the design ablations, the
+// population-scale streaming benchmarks, and the dynamics-campaign
+// throughput benchmarks.
 package realtracer

@@ -155,6 +155,13 @@ func runScenario(sc Scenario, cfg Config) ScenarioResult {
 	if sc.Options.Seed == 0 {
 		sc.Options.Seed = DeriveSeed(cfg.BaseSeed, sc.Name)
 	}
+	if sc.Options.Dynamics != "" && sc.Options.DynamicsSeed == 0 {
+		// The dynamics layer draws from its own seed; deriving it from the
+		// scenario name (not from whichever worker ran it) keeps campaign
+		// records byte-identical across worker counts, and decouples the
+		// weather from the base seed so seed sweeps share one weather track.
+		sc.Options.DynamicsSeed = DeriveSeed(cfg.BaseSeed, sc.Name+"|dynamics")
+	}
 	start := time.Now()
 	var res *study.Result
 	var err error

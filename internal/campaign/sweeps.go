@@ -75,6 +75,22 @@ func FECSweep(base study.Options) []Scenario {
 	}
 }
 
+// DynamicsSweep builds the control arm (dynamics off) plus one scenario
+// per intensity level of a named dynamics profile — the fault-injection
+// sweep shape shared by the outage/flashcrowd/lossburst/diurnal families.
+func DynamicsSweep(base study.Options, profile string, levels []float64) []Scenario {
+	off := base
+	off.Dynamics = ""
+	out := []Scenario{{Name: profile + "-off", Options: off}}
+	for _, k := range levels {
+		o := base
+		o.Dynamics = profile
+		o.DynamicsIntensity = k
+		out = append(out, Scenario{Name: fmt.Sprintf("%s-%gx", profile, k), Options: o})
+	}
+	return out
+}
+
 // CongestionSweep scales wide-area cross traffic.
 func CongestionSweep(base study.Options, scales []float64) []Scenario {
 	out := make([]Scenario, 0, len(scales))
@@ -138,6 +154,34 @@ var sweeps = map[string]Sweep{
 		Description: "wide-area cross traffic at 0.5x, 1x, 1.5x, 2x the calibrated level",
 		Scenarios: func(base study.Options) []Scenario {
 			return CongestionSweep(base, []float64{0.5, 1, 1.5, 2})
+		},
+	},
+	"outage": {
+		Name:        "outage",
+		Description: "fault injection: rolling server-link outages at 0.5x, 1x, 2x duration vs the static baseline",
+		Scenarios: func(base study.Options) []Scenario {
+			return DynamicsSweep(base, "outage", []float64{0.5, 1, 2})
+		},
+	},
+	"flashcrowd": {
+		Name:        "flashcrowd",
+		Description: "fault injection: global flash-crowd congestion spikes at 0.5x, 1x, 1.5x amplitude vs the static baseline",
+		Scenarios: func(base study.Options) []Scenario {
+			return DynamicsSweep(base, "flashcrowd", []float64{0.5, 1, 1.5})
+		},
+	},
+	"lossburst": {
+		Name:        "lossburst",
+		Description: "fault injection: Gilbert–Elliott loss bursts at 0.5x, 1x, 2x bad-state loss vs the static baseline",
+		Scenarios: func(base study.Options) []Scenario {
+			return DynamicsSweep(base, "lossburst", []float64{0.5, 1, 2})
+		},
+	},
+	"diurnal": {
+		Name:        "diurnal",
+		Description: "fault injection: diurnal cross-traffic cycles at 0.5x, 1x, 1.5x amplitude vs the static baseline",
+		Scenarios: func(base study.Options) []Scenario {
+			return DynamicsSweep(base, "diurnal", []float64{0.5, 1, 1.5})
 		},
 	},
 }

@@ -73,6 +73,15 @@ type Aggregates struct {
 	ratedPairsDropped int
 	ratedCorr         stats.Corr
 	lowRatedHighBW    int
+
+	// Robustness breakdown by network-dynamics regime (Record.Dynamics;
+	// "" groups under "steady"): how often playback stalled, how often the
+	// server switched streams, and what frame rate survived, per condition.
+	rebufByDynamics  stats.Grouped
+	switchByDynamics stats.Grouped
+	fpsByDynamics    stats.Grouped
+	failedByDynamics stats.Counter
+	playedByDynamics stats.Counter
 }
 
 // NewAggregates returns an empty aggregate build.
@@ -123,6 +132,7 @@ func (a *Aggregates) Observe(r *trace.Record) {
 	}
 	if r.Failed {
 		a.failed++
+		a.failedByDynamics.Add(dynCondition(r), 1)
 	}
 	if r.Unavailable || r.Failed {
 		return
@@ -156,6 +166,11 @@ func (a *Aggregates) Observe(r *trace.Record) {
 		a.fpsByPC.Add(r.PCClass, fps)
 	}
 	a.jitByBand.Add(bandwidthBand(r), jit)
+	cond := dynCondition(r)
+	a.playedByDynamics.Add(cond, 1)
+	a.rebufByDynamics.Add(cond, float64(r.Rebuffers))
+	a.switchByDynamics.Add(cond, float64(r.Switches))
+	a.fpsByDynamics.Add(cond, fps)
 
 	if !r.Rated {
 		return
@@ -221,6 +236,11 @@ func (a *Aggregates) Merge(b *Aggregates) {
 	a.ratingByAccess.Merge(&b.ratingByAccess)
 	a.ratedCorr.Merge(b.ratedCorr)
 	a.lowRatedHighBW += b.lowRatedHighBW
+	a.rebufByDynamics.Merge(&b.rebufByDynamics)
+	a.switchByDynamics.Merge(&b.switchByDynamics)
+	a.fpsByDynamics.Merge(&b.fpsByDynamics)
+	a.failedByDynamics.Merge(&b.failedByDynamics)
+	a.playedByDynamics.Merge(&b.playedByDynamics)
 	room := ratedPairCap - len(a.ratedKbps)
 	if room > len(b.ratedKbps) {
 		room = len(b.ratedKbps)
@@ -259,6 +279,68 @@ func (a *Aggregates) Jitter() *stats.Dist { return a.jitAll }
 
 // Rating returns the quality-rating distribution over rated clips.
 func (a *Aggregates) Rating() *stats.Dist { return a.ratingAll }
+
+// SteadyCondition labels records that played under the static baseline
+// Internet in the robustness breakdown.
+const SteadyCondition = "steady"
+
+// dynCondition maps a record to its robustness-breakdown key.
+func dynCondition(r *trace.Record) string {
+	if r.Dynamics == "" {
+		return SteadyCondition
+	}
+	return r.Dynamics
+}
+
+// RobustnessRow is one dynamics regime's robustness summary.
+type RobustnessRow struct {
+	// Condition is the dynamics profile name, or SteadyCondition.
+	Condition string
+	// Played and Failed count clips under the condition.
+	Played, Failed int
+	// MeanRebuffers and P90Rebuffers summarize mid-playout stalls.
+	MeanRebuffers, P90Rebuffers float64
+	// MeanSwitches is the average SureStream switch count — how hard the
+	// server worked to ride the weather.
+	MeanSwitches float64
+	// MeanFPS is the frame rate that survived the condition.
+	MeanFPS float64
+}
+
+// Robustness returns the per-dynamics-condition robustness breakdown,
+// sorted by condition name. One condition per campaign scenario normally;
+// merged campaign aggregates carry every regime side by side.
+func (a *Aggregates) Robustness() []RobustnessRow {
+	// Union the played and failed key sets: a regime harsh enough to fail
+	// every clip still earns a row.
+	seen := map[string]bool{}
+	var keys []string
+	for _, k := range a.rebufByDynamics.Keys() {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for _, k := range a.failedByDynamics.Keys() {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]RobustnessRow, 0, len(keys))
+	for _, k := range keys {
+		reb := a.rebufByDynamics.Get(k)
+		row := RobustnessRow{
+			Condition:     k,
+			Played:        a.playedByDynamics.Get(k),
+			Failed:        a.failedByDynamics.Get(k),
+			MeanRebuffers: distMean(reb),
+			P90Rebuffers:  distQuantile(reb, 0.9),
+			MeanSwitches:  distMean(a.switchByDynamics.Get(k)),
+			MeanFPS:       distMean(a.fpsByDynamics.Get(k)),
+		}
+		out = append(out, row)
+	}
+	return out
+}
 
 // --- shared builder helpers ---
 

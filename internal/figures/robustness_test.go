@@ -1,0 +1,67 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"realtracer/internal/trace"
+)
+
+func robustnessRecords() []*trace.Record {
+	return []*trace.Record{
+		{User: "u1", Protocol: "UDP", MeasuredFPS: 15, Rebuffers: 0, Switches: 1},
+		{User: "u1", Protocol: "UDP", MeasuredFPS: 13, Rebuffers: 1, Switches: 1},
+		{User: "u2", Protocol: "TCP", MeasuredFPS: 6, Rebuffers: 3, Switches: 4, Dynamics: "outage"},
+		{User: "u2", Protocol: "TCP", Failed: true, Dynamics: "outage"},
+		{User: "u3", Protocol: "UDP", MeasuredFPS: 9, Rebuffers: 2, Switches: 2, Dynamics: "lossburst-2x"},
+	}
+}
+
+func TestRobustnessBreakdown(t *testing.T) {
+	a := Aggregate(robustnessRecords())
+	rows := a.Robustness()
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d want 3 (lossburst-2x, outage, steady)", len(rows))
+	}
+	byCond := map[string]RobustnessRow{}
+	for _, r := range rows {
+		byCond[r.Condition] = r
+	}
+	st := byCond[SteadyCondition]
+	if st.Played != 2 || st.Failed != 0 || st.MeanRebuffers != 0.5 || st.MeanSwitches != 1 {
+		t.Fatalf("steady row wrong: %+v", st)
+	}
+	ou := byCond["outage"]
+	if ou.Played != 1 || ou.Failed != 1 || ou.MeanRebuffers != 3 || ou.MeanFPS != 6 {
+		t.Fatalf("outage row wrong: %+v", ou)
+	}
+	if lb := byCond["lossburst-2x"]; lb.Played != 1 || lb.MeanSwitches != 2 {
+		t.Fatalf("lossburst row wrong: %+v", lb)
+	}
+}
+
+// TestRobustnessFailedOnlyConditionEarnsRow: a regime harsh enough to fail
+// every clip must still appear in the breakdown.
+func TestRobustnessFailedOnlyConditionEarnsRow(t *testing.T) {
+	a := Aggregate([]*trace.Record{
+		{User: "u1", Failed: true, Dynamics: "outage-3x"},
+	})
+	rows := a.Robustness()
+	if len(rows) != 1 || rows[0].Condition != "outage-3x" || rows[0].Failed != 1 || rows[0].Played != 0 {
+		t.Fatalf("failed-only condition rows: %+v", rows)
+	}
+}
+
+// TestRobustnessMerges: partial aggregates (one per campaign scenario)
+// carry their conditions through Merge.
+func TestRobustnessMerges(t *testing.T) {
+	recs := robustnessRecords()
+	whole := Aggregate(recs)
+	a, b := Aggregate(recs[:2]), Aggregate(recs[2:])
+	merged := NewAggregates()
+	merged.Merge(a)
+	merged.Merge(b)
+	if !reflect.DeepEqual(whole.Robustness(), merged.Robustness()) {
+		t.Fatalf("merged robustness differs:\n%+v\n%+v", whole.Robustness(), merged.Robustness())
+	}
+}

@@ -158,6 +158,12 @@ type pathState struct {
 	busyUntil    time.Duration // fluid queue at the route bottleneck
 	congestion   float64       // current cross-traffic level in [0,1)
 	lastResample time.Duration
+
+	// Dynamics-layer state (dynamics.go): which schedule events match this
+	// path, resolved lazily, plus per-event Gilbert–Elliott chain state.
+	dynMatched bool
+	dynEvents  []int
+	ge         []geState
 }
 
 // Network simulates packet delivery between hosts. Not safe for concurrent
@@ -168,6 +174,7 @@ type Network struct {
 	routes RouteTable
 	hosts  map[string]*host
 	paths  map[pairKey]*pathState
+	dyn    *dynState // nil unless SetDynamics installed a schedule
 
 	// Stats
 	sent, delivered, dropped uint64
@@ -275,6 +282,14 @@ func (n *Network) Send(pkt *Packet) {
 	}
 	p := n.path(src.cfg.Name, dst.cfg.Name)
 	n.resampleCongestion(p)
+	// The dynamics layer (dynamics.go) folds every active scheduled event —
+	// outages, ramps, traffic profiles, loss bursts, delay shifts — into one
+	// effect. With no schedule installed this is inert and draw-free.
+	eff := n.dynApply(p, src.cfg.Name, dst.cfg.Name)
+	if eff.drop {
+		n.dropped++
+		return
+	}
 	now := n.Clock.Now()
 	bits := float64(pkt.Size) * 8
 
@@ -296,8 +311,16 @@ func (n *Network) Send(pkt *Packet) {
 		n.dropped++
 		return
 	}
+	if eff.lossExtra > 0 && n.dyn.rng.Float64() < eff.lossExtra {
+		n.dropped++
+		return
+	}
 	if r.CapacityKbps > 0 {
-		avail := kbpsToBitsPerSec(r.CapacityKbps) * (1 - p.congestion)
+		cong := clamp01(p.congestion + eff.congAdd)
+		avail := kbpsToBitsPerSec(r.CapacityKbps) * eff.capFactor * (1 - cong)
+		if avail < 1 {
+			avail = 1 // a ramped-to-zero bottleneck is a dead link
+		}
 		tx := durationFromSeconds(bits / avail)
 		s := maxDur(t, p.busyUntil)
 		// Route buffers are generous; express overflow as time at line rate.
@@ -309,7 +332,7 @@ func (n *Network) Send(pkt *Packet) {
 		p.busyUntil = s + tx
 		t = p.busyUntil
 	}
-	t += r.OneWayDelay
+	t += r.OneWayDelay + eff.delayAdd
 	if r.Jitter > 0 {
 		t += time.Duration(n.rng.Float64() * float64(r.Jitter))
 	}

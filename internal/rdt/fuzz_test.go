@@ -1,0 +1,70 @@
+package rdt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// corpusPackets is one of each packet kind with realistic session values —
+// the frames a server/player exchange actually puts on the wire.
+func corpusPackets() []*Packet {
+	return []*Packet{
+		{Kind: TypeData, Data: &Data{
+			Stream: StreamVideo, Seq: 1042, MediaTime: 52100, Flags: FlagKeyframe,
+			EncRate: 225, FrameIndex: 391, FragIndex: 1, FragCount: 3,
+			Payload: []byte("frame-fragment-bytes"),
+		}},
+		{Kind: TypeData, Data: &Data{Stream: StreamAudio, Seq: 7, MediaTime: 350, FragCount: 1, Flags: FlagLast}},
+		{Kind: TypeReport, Report: &Report{Expected: 250, Lost: 3, RateKbps: 212, JitterMs: 41, BufferMs: 7800, RTTMs: 120}},
+		{Kind: TypeRepair, Repair: &Repair{
+			Stream: StreamVideo, BaseSeq: 1040, Group: 4,
+			Meta: []RepairMeta{
+				{Seq: 1040, FrameIndex: 390, MediaTime: 52000, FragCount: 1, EncRate: 225, Size: 700},
+				{Seq: 1041, FrameIndex: 390, MediaTime: 52000, FragIndex: 1, FragCount: 2, EncRate: 225, Size: 444},
+			},
+			Parity: []byte{0x1f, 0x2e, 0x3d},
+		}},
+		{Kind: TypeBufferState, BufferState: &BufferState{Ms: 6400, Target: 8000}},
+		{Kind: TypeEndOfStream, EOS: &EndOfStream{FinalSeq: 2710}},
+		{Kind: TypeNack, Nack: &Nack{Stream: StreamVideo, Seqs: []uint32{1043, 1044, 1051}}},
+	}
+}
+
+// FuzzDecodePacket fuzzes the binary RDT decoder with encodings of every
+// packet kind as the seed corpus. Decoding must never panic, and anything
+// the decoder accepts must re-encode and decode to an identical packet —
+// the property that pinned the decoder accepting payloads, NACK lists and
+// fragment counts its own encoder refuses.
+func FuzzDecodePacket(f *testing.F) {
+	for _, p := range corpusPackets() {
+		b, err := Encode(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// A corrupted twin: flipped checksum byte, to seed the reject path.
+		bad := append([]byte(nil), b...)
+		bad[5] ^= 0xFF
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic, version, byte(TypeData), 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		b2, err := Encode(p)
+		if err != nil {
+			t.Fatalf("decoded packet does not re-encode: %v\npacket: %+v", err, p)
+		}
+		p2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded packet does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("decode/encode/decode changed the packet:\nfirst:  %+v\nsecond: %+v", p, p2)
+		}
+	})
+}

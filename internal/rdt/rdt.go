@@ -269,6 +269,9 @@ func Encode(p *Packet) ([]byte, error) {
 		if r.ParityLen() > MaxPayload {
 			return nil, ErrTooLarge
 		}
+		if len(r.Meta) > 0xFF {
+			return nil, ErrTooLarge // the member count is one wire byte
+		}
 		w.U8(uint8(r.Stream))
 		w.U8(r.Group)
 		w.U32(r.BaseSeq)
@@ -355,7 +358,15 @@ func Decode(b []byte) (*Packet, error) {
 		d.FrameIndex = r.U32()
 		d.FragIndex = r.U8()
 		d.FragCount = r.U8()
+		if d.FragCount == 0 {
+			// Encode writes a floor of 1; normalizing here too keeps
+			// decode->encode->decode a fixpoint (found by FuzzDecodePacket).
+			d.FragCount = 1
+		}
 		d.Payload = append([]byte(nil), r.Bytes16()...)
+		if len(d.Payload) > MaxPayload {
+			return nil, ErrTooLarge
+		}
 		p.Data = d
 	case TypeReport:
 		rep := &Report{}
@@ -385,6 +396,9 @@ func Decode(b []byte) (*Packet, error) {
 			rp.Meta = append(rp.Meta, m)
 		}
 		rp.Parity = append([]byte(nil), r.Bytes16()...)
+		if len(rp.Parity) > MaxPayload {
+			return nil, ErrTooLarge
+		}
 		p.Repair = rp
 	case TypeBufferState:
 		bs := &BufferState{}
@@ -399,6 +413,10 @@ func Decode(b []byte) (*Packet, error) {
 		nk := &Nack{}
 		nk.Stream = StreamID(r.U8())
 		n := int(r.U8())
+		if n > MaxNackSeqs {
+			// Encode refuses oversized request lists; so does the decoder.
+			return nil, ErrTooLarge
+		}
 		for i := 0; i < n; i++ {
 			nk.Seqs = append(nk.Seqs, r.U32())
 		}

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"net/textproto"
 	"sort"
 	"strconv"
 	"strings"
@@ -110,16 +111,12 @@ func (m *Message) GetInt(key string, def int) int {
 	return n
 }
 
-func canonical(key string) string {
-	parts := strings.Split(strings.ToLower(key), "-")
-	for i, p := range parts {
-		if p == "" {
-			continue
-		}
-		parts[i] = strings.ToUpper(p[:1]) + p[1:]
-	}
-	return strings.Join(parts, "-")
-}
+// canonical title-cases dash-separated header keys ("content-length" ->
+// "Content-Length") via net/textproto, which is byte-wise over ASCII and
+// therefore idempotent on hostile keys — FuzzParseRequest found a
+// strings.ToLower/ToUpper version growing a \xff key by three replacement-
+// char bytes per parse/marshal round.
+func canonical(key string) string { return textproto.CanonicalMIMEHeaderKey(key) }
 
 // Marshal renders the message in wire format.
 func (m *Message) Marshal() []byte {
@@ -220,6 +217,12 @@ func Parse(data []byte) (*Message, error) {
 		}
 	}
 	if contentLength > 0 {
+		// Bound the allocation by the input size before trusting the header:
+		// a hostile Content-Length must not reserve gigabytes (found by
+		// FuzzParseRequest). The body cannot be longer than what arrived.
+		if contentLength > len(data) {
+			return nil, ErrTruncatedBody
+		}
 		body := make([]byte, contentLength)
 		n, _ := r.Read(body)
 		for n < contentLength {

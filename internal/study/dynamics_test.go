@@ -1,0 +1,92 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownDynamicsProfileErrors(t *testing.T) {
+	_, err := NewWorld(Options{Seed: 1, MaxUsers: 2, ClipCap: 1, Dynamics: "hurricane"})
+	if err == nil || !strings.Contains(err.Error(), "hurricane") {
+		t.Fatalf("want unknown-profile error naming the profile, got %v", err)
+	}
+}
+
+func TestDynamicsProfilesAllBuild(t *testing.T) {
+	opt := Options{Seed: 1}
+	opt.fill()
+	hosts := []string{"cnn.us", "bbc.uk"}
+	for _, p := range DynamicsProfiles() {
+		for _, k := range []float64{0.5, 1, 3} {
+			spec := p.Build(opt, k, hosts)
+			if spec == nil || len(spec.Events) == 0 {
+				t.Fatalf("profile %s at %gx built an empty schedule", p.Name, k)
+			}
+		}
+	}
+}
+
+func TestDynamicsLabelStampsRecords(t *testing.T) {
+	res, err := Run(Options{Seed: 3, MaxUsers: 3, ClipCap: 2, Dynamics: "lossburst", DynamicsIntensity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for _, rec := range res.Records {
+		if rec.Dynamics != "lossburst-2x" {
+			t.Fatalf("record label %q want %q", rec.Dynamics, "lossburst-2x")
+		}
+	}
+}
+
+func TestDynamicsLabel(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		want string
+	}{
+		{Options{}, ""},
+		{Options{Dynamics: "outage"}, "outage"},
+		{Options{Dynamics: "outage", DynamicsIntensity: 1}, "outage"},
+		{Options{Dynamics: "outage", DynamicsIntensity: 0.5}, "outage-0.5x"},
+		{Options{Dynamics: "diurnal", DynamicsIntensity: 2}, "diurnal-2x"},
+	}
+	for _, c := range cases {
+		if got := c.opt.DynamicsLabel(); got != c.want {
+			t.Errorf("DynamicsLabel(%q, %g)=%q want %q", c.opt.Dynamics, c.opt.DynamicsIntensity, got, c.want)
+		}
+	}
+}
+
+// TestOutageDynamicsDisruptDelivery pins that the weather actually reaches
+// the players: a heavy rolling-outage study must show strictly more
+// disruption (failed clips, rebuffers, or stream switches) than the same
+// seed run on the static Internet.
+func TestOutageDynamicsDisruptDelivery(t *testing.T) {
+	base := Options{Seed: 9, MaxUsers: 6, ClipCap: 4}
+	calm, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stormy := base
+	stormy.Dynamics = "outage"
+	stormy.DynamicsIntensity = 2
+	storm, err := Run(stormy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disruption := func(res *Result) (score int) {
+		for _, r := range res.Records {
+			if r.Failed {
+				score += 10
+			}
+			score += r.Rebuffers + r.Switches
+		}
+		return score
+	}
+	calmScore, stormScore := disruption(calm), disruption(storm)
+	if stormScore <= calmScore {
+		t.Fatalf("outage study no more disrupted than baseline: %d vs %d", stormScore, calmScore)
+	}
+}

@@ -39,6 +39,17 @@ type Options struct {
 	Controller string
 	// CongestionScale scales wide-area cross traffic (1 = calibrated).
 	CongestionScale float64
+	// Dynamics names a network-dynamics profile from the catalog in
+	// dynamics.go ("outage", "flashcrowd", "lossburst", "diurnal",
+	// "routeflap"); "" keeps the classic static Internet, byte-identical to
+	// a build without the dynamics layer.
+	Dynamics string
+	// DynamicsIntensity scales the profile (0 = the calibrated 1x).
+	DynamicsIntensity float64
+	// DynamicsSeed drives the profile's own randomness (loss-burst chains);
+	// 0 derives Seed+4. The campaign engine derives an explicit per-scenario
+	// value so campaign results are independent of worker count.
+	DynamicsSeed int64
 	// StaggerWindow spreads user start times (default 90 minutes). Overlap
 	// creates shared-bottleneck load at servers.
 	StaggerWindow time.Duration

@@ -76,6 +76,18 @@ func NewWorld(opt Options) (*World, error) {
 	routes.CongestionScale = opt.CongestionScale
 	w.Net = netsim.New(w.Clock, routes, opt.Seed+3)
 
+	if opt.Dynamics != "" {
+		spec, err := buildDynamics(opt, w.Sites)
+		if err != nil {
+			return nil, err
+		}
+		dseed := opt.DynamicsSeed
+		if dseed == 0 {
+			dseed = opt.Seed + 4
+		}
+		w.Net.SetDynamics(spec, dseed)
+	}
+
 	if err := w.buildServers(masterRNG); err != nil {
 		return nil, err
 	}
@@ -127,6 +139,9 @@ func (w *World) buildServers(masterRNG *rand.Rand) error {
 // window.
 func (w *World) launchUsers(masterRNG *rand.Rand) {
 	opt := w.Options
+	// The condition label is constant for the world; stamp records from one
+	// string rather than reformatting it per record.
+	dynLabel := opt.DynamicsLabel()
 	w.remaining = len(w.Users)
 	for _, u := range w.Users {
 		u := u
@@ -148,15 +163,20 @@ func (w *World) launchUsers(masterRNG *rand.Rand) {
 			n = opt.ClipCap
 		}
 		tr := tracer.New(tracer.Config{
-			Clock:      vclock.Sim{C: w.Clock},
-			Net:        session.SimNet{Stack: transport.NewStack(w.Net, u.Name)},
-			User:       u,
-			Playlist:   w.Playlist[:n],
-			PlayFor:    opt.PlayFor,
-			Preroll:    opt.Preroll,
-			Rand:       userRNG,
-			Rate:       rater.rate,
-			OnRecord:   func(rec *trace.Record) { w.sink.Observe(rec) },
+			Clock:    vclock.Sim{C: w.Clock},
+			Net:      session.SimNet{Stack: transport.NewStack(w.Net, u.Name)},
+			User:     u,
+			Playlist: w.Playlist[:n],
+			PlayFor:  opt.PlayFor,
+			Preroll:  opt.Preroll,
+			Rand:     userRNG,
+			Rate:     rater.rate,
+			OnRecord: func(rec *trace.Record) {
+				// Stamp the network-weather condition so downstream
+				// aggregation can split robustness metrics by regime.
+				rec.Dynamics = dynLabel
+				w.sink.Observe(rec)
+			},
 			OnFinished: func() { w.remaining-- },
 		})
 		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))

@@ -61,6 +61,12 @@ type Record struct {
 	// the 0-10 score (Fig. 2c).
 	Rated  bool    `json:"rated"`
 	Rating float64 `json:"rating,omitempty"`
+
+	// Dynamics labels the network-dynamics regime the clip played under
+	// ("" = the static baseline Internet; otherwise a study profile name
+	// like "outage" or "lossburst"). Drives the per-condition robustness
+	// breakdown in figures.Aggregates.
+	Dynamics string `json:"dynamics,omitempty"`
 }
 
 // Header is the CSV column order.
@@ -72,7 +78,7 @@ var Header = []string{
 	"measured_kbps", "measured_fps", "jitter_ms",
 	"frames_played", "frames_dropped_late", "frames_dropped_cpu", "frames_lost", "frames_corrupted",
 	"rebuffers", "rebuffer_ms", "buffering_ms", "cpu_utilization", "switches",
-	"rated", "rating",
+	"rated", "rating", "dynamics",
 }
 
 func (r *Record) row() []string {
@@ -90,6 +96,7 @@ func (r *Record) row() []string {
 		strconv.FormatInt(r.BufferingTime.Milliseconds(), 10),
 		ftoa(r.CPUUtilization), strconv.Itoa(r.Switches),
 		strconv.FormatBool(r.Rated), ftoa(r.Rating),
+		r.Dynamics,
 	}
 }
 
@@ -120,7 +127,7 @@ func ReadCSV(r io.Reader) ([]*Record, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
-	if len(rows[0]) != len(Header) {
+	if len(rows[0]) != len(Header) && len(rows[0]) != legacyColumns {
 		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(rows[0]), len(Header))
 	}
 	var out []*Record
@@ -134,8 +141,12 @@ func ReadCSV(r io.Reader) ([]*Record, error) {
 	return out, nil
 }
 
+// legacyColumns is the pre-dynamics column count; traces collected before
+// the dynamics column was added still read back (Dynamics defaults to "").
+const legacyColumns = 30
+
 func fromRow(row []string) (*Record, error) {
-	if len(row) != len(Header) {
+	if len(row) != len(Header) && len(row) != legacyColumns {
 		return nil, fmt.Errorf("want %d fields, got %d", len(Header), len(row))
 	}
 	var r Record
@@ -177,6 +188,9 @@ func fromRow(row []string) (*Record, error) {
 	r.BufferingTime = time.Duration(atoi(row[25])) * time.Millisecond
 	r.CPUUtilization, r.Switches = atof(row[26]), atoi(row[27])
 	r.Rated, r.Rating = atob(row[28]), atof(row[29])
+	if len(row) > legacyColumns {
+		r.Dynamics = row[30]
+	}
 	return &r, err
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -77,6 +78,35 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if len(got) != 3 || *got[0] != *recs[0] || got[2].FailReason != "idle timeout" {
 		t.Fatal("json round trip mismatch")
+	}
+}
+
+// TestReadCSVLegacyColumns: traces written before the dynamics column
+// still read back, with Dynamics defaulting to "".
+func TestReadCSVLegacyColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the trailing dynamics column from header and row.
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	cw := csv.NewWriter(&legacy)
+	for _, row := range rows {
+		if err := cw.Write(row[:len(row)-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw.Flush()
+	got, err := ReadCSV(strings.NewReader(legacy.String()))
+	if err != nil {
+		t.Fatalf("legacy 30-column trace rejected: %v", err)
+	}
+	if len(got) != 1 || got[0].Dynamics != "" || got[0].User != "u1" {
+		t.Fatalf("legacy read wrong: %+v", got[0])
 	}
 }
 
