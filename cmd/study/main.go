@@ -6,6 +6,7 @@
 //	study [-seed N] [-users N] [-clips N] [-stream] [-out trace.csv]
 //	      [-json trace.json] [-figure figNN | -figures] [-sites] [-timeline]
 //	      [-sweep NAME|list] [-parallel N] [-dynamics NAME|list] [-intensity K]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
 // regenerates one figure; -figures all of them; -timeline runs the single-
@@ -22,6 +23,12 @@
 // lossburst, diurnal) run the same profiles across intensity levels against
 // a dynamics-off control arm via -sweep.
 //
+// -cpuprofile/-memprofile write pprof profiles of the run, so hot-path work
+// (the zero-allocation discrete-event core) can keep attacking the profile:
+//
+//	study -stream -users 1000 -clips 3 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+//
 // -stream switches to the population-scale pipeline: records flow straight
 // into mergeable figure aggregates (and, with -out, a streaming CSV writer)
 // as clips complete, so memory is bounded by aggregate size instead of
@@ -35,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"realtracer/internal/campaign"
 	"realtracer/internal/core"
@@ -60,7 +69,36 @@ func main() {
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = all cores)")
 	dynamics := flag.String("dynamics", "", "apply a named network-dynamics profile to the run (\"list\" to enumerate the catalog)")
 	intensity := flag.Float64("intensity", 0, "dynamics profile intensity (0 = the calibrated 1x)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("create %s: %v", *cpuprofile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("create %s: %v", *memprofile, err)
+			}
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *sites {
 		printSites(*seed)

@@ -18,6 +18,19 @@
 // (rebuffers, stream switches, surviving frame rate) down per condition.
 // With dynamics off, output is byte-identical to a build without the layer.
 //
+// The discrete-event core is zero-allocation in steady state: host names
+// intern to dense IDs with path state in an ID-indexed grid, packets and
+// clock events recycle through free-lists (delivery is scheduled as the
+// Packet itself implementing simclock.EventHandler — no closures on the hot
+// path), the scheduler is a concrete 4-ary heap, and the engines' per-packet
+// bookkeeping is amortized O(1). One delivered UDP datagram costs ~45ns and
+// zero allocations (BenchmarkPacketHopUDP, guarded by the alloc-budget test
+// in internal/transport). Everything stays bit-for-bit deterministic — RNG
+// draw order and FIFO tie-breaking are part of the contract, pinned by the
+// golden figures snapshot — so hot-path changes must keep output
+// byte-identical. Profile with `study -cpuprofile/-memprofile`; the perf
+// trajectory lives in BENCH_pr4.json.
+//
 // Entry points: internal/core (run the study via RunStudy, stream it into
 // mergeable figure aggregates via RunStudyAggregates, fan multi-scenario
 // sweeps across a worker pool via RunCampaign / RunCampaignAggregates,

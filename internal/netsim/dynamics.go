@@ -151,23 +151,51 @@ func (d *Dynamics) DelayShift(from, to string, start, dur time.Duration, delta t
 	return d.add(DynEvent{Kind: EventDelayShift, From: from, To: to, Start: start, Duration: dur, DelayDelta: delta})
 }
 
-// matchHost reports whether pattern matches host: "" and "*" match
-// everything, "*suffix" matches by suffix, anything else exactly.
-func matchHost(pattern, host string) bool {
+// Compiled pattern kinds. Pattern semantics: "" and "*" match everything,
+// "*suffix" matches by suffix, anything else matches one host name exactly.
+const (
+	patAny uint8 = iota
+	patExact
+	patSuffix
+)
+
+// compiledPattern is a host pattern resolved at SetDynamics time: exact
+// names are interned to a HostID so per-path matching compares integers, and
+// wildcards are classified once instead of re-parsed per match.
+type compiledPattern struct {
+	kind   uint8
+	id     HostID // patExact: the interned host ID
+	suffix string // patSuffix
+}
+
+func (n *Network) compilePattern(pattern string) compiledPattern {
 	switch {
 	case pattern == "" || pattern == "*":
-		return true
+		return compiledPattern{kind: patAny}
 	case len(pattern) > 1 && pattern[0] == '*':
-		suf := pattern[1:]
-		return len(host) >= len(suf) && host[len(host)-len(suf):] == suf
+		return compiledPattern{kind: patSuffix, suffix: pattern[1:]}
 	default:
-		return pattern == host
+		return compiledPattern{kind: patExact, id: n.Intern(pattern)}
 	}
 }
 
-// matches reports whether the event applies to the ordered path from->to.
-func (e *DynEvent) matches(from, to string) bool {
-	return matchHost(e.From, from) && matchHost(e.To, to)
+// match tests a compiled pattern against an attached host.
+func (c *compiledPattern) match(h *host) bool {
+	switch c.kind {
+	case patAny:
+		return true
+	case patExact:
+		return c.id == h.id
+	default:
+		name := h.cfg.Name
+		return len(name) >= len(c.suffix) && name[len(name)-len(c.suffix):] == c.suffix
+	}
+}
+
+// compiledEvent pairs one schedule event with its compiled endpoint
+// patterns.
+type compiledEvent struct {
+	from, to compiledPattern
 }
 
 // geState is the Gilbert–Elliott chain state for one (path, event) pair.
@@ -176,13 +204,14 @@ type geState struct {
 	last time.Duration // chain advanced through this virtual time
 }
 
-// dynState is the per-network dynamics runtime: the installed schedule and
-// its private RNG. Chain state lives on each pathState so paths evolve
-// independently (but deterministically, since the single-threaded clock
-// fixes the draw order).
+// dynState is the per-network dynamics runtime: the installed schedule, its
+// per-event compiled patterns, and its private RNG. Chain state lives on
+// each pathState so paths evolve independently (but deterministically, since
+// the single-threaded clock fixes the draw order).
 type dynState struct {
-	spec *Dynamics
-	rng  *rand.Rand
+	spec     *Dynamics
+	compiled []compiledEvent
+	rng      *rand.Rand
 }
 
 // dynEffect is the folded influence of every active event on one packet.
@@ -203,24 +232,34 @@ func (n *Network) SetDynamics(spec *Dynamics, seed int64) {
 	if spec == nil || len(spec.Events) == 0 {
 		n.dyn = nil
 	} else {
-		n.dyn = &dynState{spec: spec, rng: rand.New(rand.NewSource(seed))}
+		compiled := make([]compiledEvent, len(spec.Events))
+		for i := range spec.Events {
+			compiled[i] = compiledEvent{
+				from: n.compilePattern(spec.Events[i].From),
+				to:   n.compilePattern(spec.Events[i].To),
+			}
+		}
+		n.dyn = &dynState{spec: spec, compiled: compiled, rng: rand.New(rand.NewSource(seed))}
 	}
-	for _, p := range n.paths {
+	n.forEachPath(func(p *pathState) {
 		p.dynEvents = nil
 		p.dynMatched = false
 		p.ge = nil
-	}
+	})
 }
 
 // dynTick is the Gilbert–Elliott chain advancement cadence.
 const dynTick = time.Second
 
-// dynEventsFor lazily resolves which schedule events match the path.
-func (n *Network) dynEventsFor(p *pathState, from, to string) []int {
+// dynEventsFor lazily resolves which schedule events match the path, using
+// the patterns compiled at SetDynamics time (ID comparison for exact names,
+// one suffix check per path per event otherwise — never per packet).
+func (n *Network) dynEventsFor(p *pathState, from, to *host) []int {
 	if !p.dynMatched {
 		p.dynMatched = true
-		for i := range n.dyn.spec.Events {
-			if n.dyn.spec.Events[i].matches(from, to) {
+		for i := range n.dyn.compiled {
+			c := &n.dyn.compiled[i]
+			if c.from.match(from) && c.to.match(to) {
 				p.dynEvents = append(p.dynEvents, i)
 			}
 		}
@@ -233,7 +272,7 @@ func (n *Network) dynEventsFor(p *pathState, from, to string) []int {
 
 // dynApply folds every matching active event into one effect for a packet
 // offered on the path at virtual time now.
-func (n *Network) dynApply(p *pathState, from, to string) dynEffect {
+func (n *Network) dynApply(p *pathState, from, to *host) dynEffect {
 	eff := dynEffect{capFactor: 1}
 	if n.dyn == nil {
 		return eff

@@ -189,19 +189,20 @@ func TestDiurnalShape(t *testing.T) {
 	spec := &Dynamics{Events: []DynEvent{e}}
 	r := newRig(Route{CapacityKbps: 1000, CongestionMean: 0}, spec, 1)
 	// Probe the effective congestion addition directly via dynApply.
-	p := r.net.path("src", "dst")
+	p := r.net.pathByName("src", "dst")
+	src, dst := r.net.hostByAddr("src:1"), r.net.hostByAddr("dst:1")
 	r.clock.RunUntil(15 * time.Minute) // quarter period: sin^2 = 0.5
-	eff := r.net.dynApply(p, "src", "dst")
+	eff := r.net.dynApply(p, src, dst)
 	if eff.congAdd < 0.15 || eff.congAdd > 0.25 {
 		t.Fatalf("quarter-period congAdd=%.3f want ~0.2", eff.congAdd)
 	}
 	r.clock.RunUntil(30 * time.Minute) // half period: sin^2 = 1 -> amplitude
-	eff = r.net.dynApply(p, "src", "dst")
+	eff = r.net.dynApply(p, src, dst)
 	if eff.congAdd < 0.35 {
 		t.Fatalf("peak congAdd=%.3f want ~0.4", eff.congAdd)
 	}
 	r.clock.RunUntil(60 * time.Minute) // full period: back to ~0
-	eff = r.net.dynApply(p, "src", "dst")
+	eff = r.net.dynApply(p, src, dst)
 	if eff.congAdd > 0.05 {
 		t.Fatalf("full-period congAdd=%.3f want ~0", eff.congAdd)
 	}
@@ -220,9 +221,25 @@ func TestMatchHostPatterns(t *testing.T) {
 		{"*.us", "bbc.uk", false},
 		{"*.us", "us", false},
 	}
+	// Exercise the compiled matcher — the one the packet path uses — against
+	// hosts attached to a real network, so exact patterns go through ID
+	// interning just as they do in production.
+	n := New(simclock.New(), nil, 1)
+	seen := map[string]bool{}
 	for _, c := range cases {
-		if got := matchHost(c.pattern, c.host); got != c.want {
-			t.Errorf("matchHost(%q, %q)=%v want %v", c.pattern, c.host, got, c.want)
+		if !seen[c.host] {
+			seen[c.host] = true
+			n.AddHost(HostConfig{Name: c.host})
+		}
+	}
+	for _, c := range cases {
+		cp := n.compilePattern(c.pattern)
+		h := n.hostByAddr(Addr(c.host + ":1"))
+		if h == nil {
+			t.Fatalf("host %q not attached", c.host)
+		}
+		if got := cp.match(h); got != c.want {
+			t.Errorf("compilePattern(%q).match(%q)=%v want %v", c.pattern, c.host, got, c.want)
 		}
 	}
 }

@@ -9,6 +9,13 @@
 //
 // The simulator delivers opaque packets between registered handlers; the
 // transport layer (internal/transport) builds TCP and UDP semantics on top.
+//
+// The per-packet path is allocation-free in steady state: host names are
+// interned to dense HostIDs (Intern/AddHost), the per-ordered-pair path
+// state lives in a flat grid indexed by ID pair (with a map fallback for
+// very large topologies), packets come from a free-list (Obtain) and are
+// released back on delivery or drop, and delivery is scheduled through the
+// clock's pooled handler events — the Packet itself is the EventHandler.
 package netsim
 
 import (
@@ -34,13 +41,38 @@ func (a Addr) Host() string {
 	return s
 }
 
+// HostID is a dense interned host identity. The zero HostID means
+// "unresolved"; Send falls back to interning the Addr's host component.
+// A name keeps its HostID forever — across RemoveHost and re-AddHost — so a
+// cached ID can never deliver to the wrong host.
+type HostID int32
+
 // Packet is a unit of transfer. Payload is carried by reference (the
 // simulation does not serialize); Size is what occupies link capacity.
+//
+// Packets obtained from Network.Obtain are pooled: the network releases them
+// back to the free-list after the destination handler returns (or on drop),
+// so handlers must not retain a *Packet past the callback — copy the fields
+// they need. Caller-constructed Packets (struct literals, as in tests) are
+// never recycled.
+//
+// FromID/ToID are optional pre-resolved host identities (see Intern); the
+// transport layer fills them once per connection so the per-packet path skips
+// the name lookups. Zero means "resolve From/To by name".
 type Packet struct {
-	From, To Addr
-	Size     int // bytes on the wire, including all header overhead
-	Payload  any
+	From, To     Addr
+	FromID, ToID HostID
+	Size         int // bytes on the wire, including all header overhead
+	Payload      any
+
+	net    *Network // delivery context; set by Send
+	pooled bool     // came from the free-list; recycled after delivery/drop
 }
+
+// Fire implements simclock.EventHandler: a scheduled Packet delivers itself.
+// This replaces the per-packet delivery closure the scheduler used to
+// allocate.
+func (pkt *Packet) Fire(time.Duration) { pkt.net.deliver(pkt) }
 
 // Handler receives packets addressed to a registered Addr.
 type Handler func(pkt *Packet)
@@ -143,6 +175,7 @@ type HostConfig struct {
 
 type host struct {
 	cfg      HostConfig
+	id       HostID
 	handlers map[Addr]Handler
 	// Fluid drop-tail queues: the virtual time until which each direction of
 	// the access link is busy serving earlier packets.
@@ -150,7 +183,7 @@ type host struct {
 	downBusyUntil time.Duration
 }
 
-type pairKey struct{ from, to string }
+type pairKey struct{ from, to HostID }
 
 // pathState carries the per-ordered-pair wide-area state.
 type pathState struct {
@@ -166,15 +199,32 @@ type pathState struct {
 	ge         []geState
 }
 
+// maxGridHosts bounds the flat pathState grid: beyond this many interned
+// names the quadratic grid would dominate memory, so path state falls back
+// to a map keyed by the ID pair (still no string keys). The study's worlds
+// are far below the bound; only very large dynamic topologies cross it.
+const maxGridHosts = 1024
+
 // Network simulates packet delivery between hosts. Not safe for concurrent
 // use: it shares the single-threaded simclock discipline.
 type Network struct {
 	Clock  *simclock.Clock
 	rng    *rand.Rand
 	routes RouteTable
-	hosts  map[string]*host
-	paths  map[pairKey]*pathState
-	dyn    *dynState // nil unless SetDynamics installed a schedule
+
+	ids     map[string]HostID // permanent name -> ID interning (1-based)
+	hostTab []*host           // indexed by HostID; entry nil when detached
+	names   []string          // indexed by HostID; interned name
+
+	// Path state: a flat (stride x stride) grid indexed by ordered ID pair
+	// while the topology is small, a pairKey map beyond maxGridHosts.
+	grid     []*pathState
+	stride   int
+	overflow map[pairKey]*pathState
+
+	free []*Packet // packet free-list
+
+	dyn *dynState // nil unless SetDynamics installed a schedule
 
 	// Stats
 	sent, delivered, dropped uint64
@@ -188,31 +238,112 @@ func New(clock *simclock.Clock, routes RouteTable, seed int64) *Network {
 		routes = StaticRoute{}
 	}
 	return &Network{
-		Clock:  clock,
-		rng:    rand.New(rand.NewSource(seed)),
-		routes: routes,
-		hosts:  make(map[string]*host),
-		paths:  make(map[pairKey]*pathState),
+		Clock:   clock,
+		rng:     rand.New(rand.NewSource(seed)),
+		routes:  routes,
+		ids:     make(map[string]HostID),
+		hostTab: make([]*host, 1), // index 0 = HostID zero, unused
+		names:   make([]string, 1),
 	}
+}
+
+// Intern returns the permanent dense ID for a host name, assigning one if
+// the name has never been seen. Interning does not attach a host; it lets
+// the transport layer resolve endpoints once per connection instead of once
+// per packet. IDs are never reused for a different name.
+func (n *Network) Intern(name string) HostID {
+	if id, ok := n.ids[name]; ok {
+		return id
+	}
+	id := HostID(len(n.hostTab))
+	n.ids[name] = id
+	n.hostTab = append(n.hostTab, nil)
+	n.names = append(n.names, name)
+	if n.overflow == nil && len(n.hostTab)-1 > maxGridHosts {
+		// The grid would outgrow its budget: migrate to the map fallback.
+		n.overflow = make(map[pairKey]*pathState)
+		for f := 1; f <= n.stride; f++ {
+			for t := 1; t <= n.stride; t++ {
+				if p := n.grid[(f-1)*n.stride+(t-1)]; p != nil {
+					n.overflow[pairKey{HostID(f), HostID(t)}] = p
+				}
+			}
+		}
+		n.grid, n.stride = nil, 0
+	}
+	return id
+}
+
+// HostIDOf returns the interned ID for name, or zero when the name has never
+// been interned.
+func (n *Network) HostIDOf(name string) HostID { return n.ids[name] }
+
+// growGrid re-lays the path grid so it covers IDs 1..want.
+func (n *Network) growGrid(want int) {
+	stride := n.stride
+	if stride == 0 {
+		stride = 8
+	}
+	for stride < want {
+		stride *= 2
+	}
+	grid := make([]*pathState, stride*stride)
+	for f := 1; f <= n.stride; f++ {
+		for t := 1; t <= n.stride; t++ {
+			grid[(f-1)*stride+(t-1)] = n.grid[(f-1)*n.stride+(t-1)]
+		}
+	}
+	n.grid, n.stride = grid, stride
 }
 
 // AddHost attaches a host. Adding the same name twice panics: host identity
 // is load-bearing for path state.
 func (n *Network) AddHost(cfg HostConfig) {
-	if _, ok := n.hosts[cfg.Name]; ok {
+	id := n.Intern(cfg.Name)
+	if n.hostTab[id] != nil {
 		panic("netsim: duplicate host " + cfg.Name)
 	}
-	n.hosts[cfg.Name] = &host{cfg: cfg, handlers: make(map[Addr]Handler)}
+	n.hostTab[id] = &host{cfg: cfg, id: id, handlers: make(map[Addr]Handler)}
 }
 
-// RemoveHost detaches a host and all its handlers. Unknown names are a no-op.
-func (n *Network) RemoveHost(name string) { delete(n.hosts, name) }
+// RemoveHost detaches a host and all its handlers, and purges every piece of
+// per-path state touching it — both directions — so a host re-added under
+// the same name starts with fresh congestion and queue state instead of
+// silently inheriting the dead host's. Unknown names are a no-op.
+func (n *Network) RemoveHost(name string) {
+	id, ok := n.ids[name]
+	if !ok || n.hostTab[id] == nil {
+		return
+	}
+	n.hostTab[id] = nil
+	if n.grid != nil {
+		if int(id) <= n.stride {
+			row := (int(id) - 1) * n.stride
+			for t := 0; t < n.stride; t++ {
+				n.grid[row+t] = nil
+			}
+			for f := 0; f < n.stride; f++ {
+				n.grid[f*n.stride+int(id)-1] = nil
+			}
+		}
+	}
+	for k := range n.overflow {
+		if k.from == id || k.to == id {
+			delete(n.overflow, k)
+		}
+	}
+}
+
+// hostByAddr resolves an Addr to its attached host, or nil.
+func (n *Network) hostByAddr(a Addr) *host {
+	return n.lookup(n.ids[a.Host()])
+}
 
 // Register installs the packet handler for addr. The host component of addr
 // must have been added with AddHost.
 func (n *Network) Register(addr Addr, h Handler) {
-	hst, ok := n.hosts[addr.Host()]
-	if !ok {
+	hst := n.hostByAddr(addr)
+	if hst == nil {
 		panic("netsim: Register on unknown host " + addr.Host())
 	}
 	hst.handlers[addr] = h
@@ -220,7 +351,7 @@ func (n *Network) Register(addr Addr, h Handler) {
 
 // Unregister removes the handler for addr.
 func (n *Network) Unregister(addr Addr) {
-	if hst, ok := n.hosts[addr.Host()]; ok {
+	if hst := n.hostByAddr(addr); hst != nil {
 		delete(hst.handlers, addr)
 	}
 }
@@ -231,15 +362,73 @@ func (n *Network) Stats() (sent, delivered, dropped uint64) {
 	return n.sent, n.delivered, n.dropped
 }
 
-func (n *Network) path(from, to string) *pathState {
-	k := pairKey{from, to}
-	p, ok := n.paths[k]
-	if !ok {
-		r := n.routes.Route(from, to)
+// Obtain returns a Packet from the free-list (or a fresh one). The caller
+// fills it and hands it to Send, which releases it back to the pool on
+// delivery or drop — the steady-state per-packet path allocates nothing.
+func (n *Network) Obtain() *Packet {
+	if k := len(n.free); k > 0 {
+		p := n.free[k-1]
+		n.free = n.free[:k-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// release returns a pooled packet to the free-list. Caller-constructed
+// packets are left for the garbage collector.
+func (n *Network) release(pkt *Packet) {
+	if !pkt.pooled {
+		return
+	}
+	pkt.From, pkt.To = "", ""
+	pkt.FromID, pkt.ToID = 0, 0
+	pkt.Size = 0
+	pkt.Payload = nil
+	pkt.net = nil
+	n.free = append(n.free, pkt)
+}
+
+// path returns (creating if needed) the ordered-pair path state.
+func (n *Network) path(from, to HostID) *pathState {
+	if n.overflow != nil {
+		k := pairKey{from, to}
+		p, ok := n.overflow[k]
+		if !ok {
+			r := n.routes.Route(n.names[from], n.names[to])
+			p = &pathState{route: r, congestion: clamp01(r.CongestionMean)}
+			n.overflow[k] = p
+		}
+		return p
+	}
+	if int(from) > n.stride || int(to) > n.stride {
+		n.growGrid(len(n.hostTab) - 1)
+	}
+	i := (int(from)-1)*n.stride + (int(to) - 1)
+	p := n.grid[i]
+	if p == nil {
+		r := n.routes.Route(n.names[from], n.names[to])
 		p = &pathState{route: r, congestion: clamp01(r.CongestionMean)}
-		n.paths[k] = p
+		n.grid[i] = p
 	}
 	return p
+}
+
+// pathByName resolves names (interning them) and returns the path state;
+// used by the name-based inspection APIs, not the packet path.
+func (n *Network) pathByName(from, to string) *pathState {
+	return n.path(n.Intern(from), n.Intern(to))
+}
+
+// forEachPath visits every existing pathState.
+func (n *Network) forEachPath(fn func(*pathState)) {
+	for _, p := range n.grid {
+		if p != nil {
+			fn(p)
+		}
+	}
+	for _, p := range n.overflow {
+		fn(p)
+	}
 }
 
 const congestionResample = time.Second
@@ -267,27 +456,37 @@ func clamp01(x float64) float64 {
 
 // Send offers pkt to the network. Delivery (or silent drop) is scheduled on
 // the clock; the call itself does not advance time. Sending from or to an
-// unknown host drops the packet.
+// unknown host drops the packet. Send consumes pooled packets: after the
+// call the caller must not touch pkt again.
 func (n *Network) Send(pkt *Packet) {
 	n.sent++
-	src, ok := n.hosts[pkt.From.Host()]
-	if !ok {
+	if pkt.FromID == 0 {
+		pkt.FromID = n.ids[pkt.From.Host()]
+	}
+	src := n.lookup(pkt.FromID)
+	if src == nil {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
-	dst, ok := n.hosts[pkt.To.Host()]
-	if !ok {
+	if pkt.ToID == 0 {
+		pkt.ToID = n.ids[pkt.To.Host()]
+	}
+	dst := n.lookup(pkt.ToID)
+	if dst == nil {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
-	p := n.path(src.cfg.Name, dst.cfg.Name)
+	p := n.path(pkt.FromID, pkt.ToID)
 	n.resampleCongestion(p)
 	// The dynamics layer (dynamics.go) folds every active scheduled event —
 	// outages, ramps, traffic profiles, loss bursts, delay shifts — into one
 	// effect. With no schedule installed this is inert and draw-free.
-	eff := n.dynApply(p, src.cfg.Name, dst.cfg.Name)
+	eff := n.dynApply(p, src, dst)
 	if eff.drop {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
 	now := n.Clock.Now()
@@ -299,6 +498,7 @@ func (n *Network) Send(pkt *Packet) {
 	start := maxDur(now, src.upBusyUntil)
 	if start-now > src.cfg.Access.QueueDelayMax {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
 	src.upBusyUntil = start + txUp
@@ -306,13 +506,15 @@ func (n *Network) Send(pkt *Packet) {
 
 	// 2. Wide-area route: bottleneck service (if capacity-constrained by the
 	// route), propagation, random loss and jitter.
-	r := p.route
+	r := &p.route
 	if r.LossRate > 0 && n.rng.Float64() < r.LossRate {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
 	if eff.lossExtra > 0 && n.dyn.rng.Float64() < eff.lossExtra {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
 	if r.CapacityKbps > 0 {
@@ -327,6 +529,7 @@ func (n *Network) Send(pkt *Packet) {
 		const routeQueueMax = 2 * time.Second
 		if s-t > routeQueueMax {
 			n.dropped++
+			n.release(pkt)
 			return
 		}
 		p.busyUntil = s + tx
@@ -343,32 +546,50 @@ func (n *Network) Send(pkt *Packet) {
 	arrive := maxDur(t, dst.downBusyUntil)
 	if arrive-t > dst.cfg.Access.QueueDelayMax {
 		n.dropped++
+		n.release(pkt)
 		return
 	}
 	dst.downBusyUntil = arrive + txDown
 	deliverAt := dst.downBusyUntil + dst.cfg.Access.BaseDelay
 
-	n.Clock.At(deliverAt, func() {
-		hst, ok := n.hosts[pkt.To.Host()]
-		if !ok {
-			n.dropped++
-			return
-		}
-		h, ok := hst.handlers[pkt.To]
-		if !ok {
-			n.dropped++
-			return
-		}
-		n.delivered++
-		h(pkt)
-	})
+	pkt.net = n
+	n.Clock.AtHandler(deliverAt, pkt)
+}
+
+// lookup returns the attached host for id, or nil.
+func (n *Network) lookup(id HostID) *host {
+	if id <= 0 || int(id) >= len(n.hostTab) {
+		return nil
+	}
+	return n.hostTab[id]
+}
+
+// deliver hands an arrived packet to its destination handler. The host is
+// re-resolved at delivery time — it may have detached (or been replaced
+// under the same name) while the packet was in flight.
+func (n *Network) deliver(pkt *Packet) {
+	hst := n.lookup(pkt.ToID)
+	if hst == nil {
+		n.dropped++
+		n.release(pkt)
+		return
+	}
+	h, ok := hst.handlers[pkt.To]
+	if !ok {
+		n.dropped++
+		n.release(pkt)
+		return
+	}
+	n.delivered++
+	h(pkt)
+	n.release(pkt)
 }
 
 // Congestion returns the current cross-traffic level on the ordered path
 // from -> to (creating path state if needed). Exposed for tests and the
 // adaptation example.
 func (n *Network) Congestion(from, to string) float64 {
-	p := n.path(from, to)
+	p := n.pathByName(from, to)
 	n.resampleCongestion(p)
 	return p.congestion
 }
@@ -377,7 +598,7 @@ func (n *Network) Congestion(from, to string) float64 {
 // taking effect from the current virtual time. Used by the congestion and
 // adaptation examples to create a mid-clip congestion epoch.
 func (n *Network) SetCongestionMean(from, to string, mean, variance float64) {
-	p := n.path(from, to)
+	p := n.pathByName(from, to)
 	p.route.CongestionMean = mean
 	p.route.CongestionVar = variance
 }

@@ -220,3 +220,90 @@ func TestJitterSpreadsDelivery(t *testing.T) {
 		t.Fatal("jitter had no effect on inter-arrival times")
 	}
 }
+
+// TestRemoveHostPurgesPathState is the remove/re-add regression: detaching a
+// host must purge the per-path wide-area state in both directions, so a host
+// re-added under the same name starts with fresh congestion and bottleneck
+// queues instead of inheriting the dead host's.
+func TestRemoveHostPurgesPathState(t *testing.T) {
+	clock, n := newNet(Route{CapacityKbps: 100})
+	n.Register("b:1", func(*Packet) {})
+	// Saturate the a->b bottleneck so its fluid queue extends far into the
+	// future.
+	for i := 0; i < 50; i++ {
+		n.Send(&Packet{From: "a:9", To: "b:1", Size: 1000})
+	}
+	p := n.pathByName("a", "b")
+	if p.busyUntil == 0 {
+		t.Fatal("bottleneck queue did not build up")
+	}
+	// Also touch the reverse direction so both orientations have state.
+	n.Send(&Packet{From: "b:1", To: "a:9", Size: 1000})
+	clock.Run()
+
+	n.RemoveHost("b")
+	n.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessT1LAN)})
+	if got := n.pathByName("a", "b").busyUntil; got != 0 {
+		t.Fatalf("re-added host inherited a->b busyUntil=%v, want fresh state", got)
+	}
+	if got := n.pathByName("b", "a").busyUntil; got != 0 {
+		t.Fatalf("re-added host inherited b->a busyUntil=%v, want fresh state", got)
+	}
+	// The re-added host must receive traffic normally (same interned ID).
+	got := 0
+	n.Register("b:1", func(*Packet) { got++ })
+	n.Send(&Packet{From: "a:9", To: "b:1", Size: 100})
+	clock.Run()
+	if got != 1 {
+		t.Fatalf("re-added host received %d packets, want 1", got)
+	}
+}
+
+// TestRemoveHostDropsInFlight pins delivery semantics across removal: a
+// packet in flight to a removed host is dropped, and handlers of the old
+// incarnation do not leak onto the new one.
+func TestRemoveHostDropsInFlight(t *testing.T) {
+	clock, n := newNet(Route{OneWayDelay: 100 * time.Millisecond})
+	oldGot := 0
+	n.Register("b:1", func(*Packet) { oldGot++ })
+	n.Send(&Packet{From: "a:9", To: "b:1", Size: 100})
+	n.RemoveHost("b")
+	clock.Run()
+	if oldGot != 0 {
+		t.Fatalf("removed host still received %d packets", oldGot)
+	}
+	if _, _, dropped := n.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	// Re-add: the old registration must be gone.
+	n.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessT1LAN)})
+	n.Send(&Packet{From: "a:9", To: "b:1", Size: 100})
+	clock.Run()
+	if oldGot != 0 {
+		t.Fatalf("stale handler fired %d times after re-add", oldGot)
+	}
+}
+
+// TestPooledPacketRoundTrip checks Obtain/Send recycling: steady-state
+// sends reuse one packet and one clock event, and the pool never hands out
+// a packet that is still in flight.
+func TestPooledPacketRoundTrip(t *testing.T) {
+	clock, n := newNet(Route{})
+	var sizes []int
+	n.Register("b:1", func(pkt *Packet) { sizes = append(sizes, pkt.Size) })
+	for i := 0; i < 100; i++ {
+		pkt := n.Obtain()
+		pkt.From, pkt.To = "a:9", "b:1"
+		pkt.Size = 100 + i
+		n.Send(pkt)
+		clock.Run()
+	}
+	for i, sz := range sizes {
+		if sz != 100+i {
+			t.Fatalf("delivery %d saw size %d, want %d", i, sz, 100+i)
+		}
+	}
+	if len(n.free) != 1 {
+		t.Fatalf("free list has %d packets after serial round trips, want 1", len(n.free))
+	}
+}

@@ -25,6 +25,11 @@ func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 // Bytes returns the encoded bytes. The slice aliases the writer's buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer to empty while keeping its capacity, so one
+// Writer can encode a stream of messages without re-allocating. Do not Reset
+// while a slice returned by Bytes is still in use — it aliases the buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
@@ -53,8 +58,39 @@ func (w *Writer) Bytes16(b []byte) {
 // String16 appends s with a 16-bit length prefix.
 func (w *Writer) String16(s string) { w.Bytes16([]byte(s)) }
 
+// zeros is a shared source of zero padding for Zeros16.
+var zeros [4096]byte
+
+// Zeros16 appends a 16-bit length prefix followed by n zero bytes without
+// allocating a scratch slice — the encoding of a simulation payload whose
+// bytes are synthetic padding (rdt.Data.PadLen).
+func (w *Writer) Zeros16(n int) {
+	if n < 0 || n > 0xFFFF {
+		panic(fmt.Sprintf("packet: Zeros16 length out of range: %d", n))
+	}
+	w.U16(uint16(n))
+	for n > 0 {
+		k := n
+		if k > len(zeros) {
+			k = len(zeros)
+		}
+		w.buf = append(w.buf, zeros[:k]...)
+		n -= k
+	}
+}
+
 // Raw appends b with no prefix.
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Truncate shortens the writer to n bytes; encoders use it to roll back a
+// partially written message on error. It panics if n exceeds the current
+// length.
+func (w *Writer) Truncate(n int) {
+	if n < 0 || n > len(w.buf) {
+		panic(fmt.Sprintf("packet: Truncate(%d) outside buffer of %d", n, len(w.buf)))
+	}
+	w.buf = w.buf[:n]
+}
 
 // Reader consumes big-endian fields from a byte slice. Errors are sticky:
 // after the first failure all subsequent reads return zero values and Err

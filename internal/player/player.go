@@ -177,8 +177,14 @@ type Player struct {
 	bytesRecv    int
 
 	// Video-stream loss tracking (UDP).
-	highestSeq   uint32
-	haveSeq      map[uint32]*rdt.Data // recent video packets for FEC
+	highestSeq uint32
+	haveSeq    map[uint32]*rdt.Data // recent video packets for FEC
+	// seqFloor is the lowest seq possibly still in haveSeq: expiry sweeps
+	// forward from it (amortized O(1) per packet) instead of scanning the
+	// whole window per packet. lowSeqs records the rare re-insertions below
+	// the floor (late retransmissions) so they expire identically.
+	seqFloor     uint32
+	lowSeqs      []uint32
 	recvSeqCount int
 	recovered    int
 	// Interval snapshots so reports carry per-interval loss, not cumulative
@@ -208,6 +214,20 @@ type Player struct {
 	buffStart  time.Duration
 	rebufStart time.Duration
 	doneCalled bool
+
+	// idleDeadline is the lazy idle cutoff: instead of re-arming a fresh
+	// timer on every received packet, activity just advances the deadline
+	// and one standing timer re-checks it when it expires.
+	idleDeadline time.Duration
+
+	// Timer callbacks bound once, so the per-frame/per-report/per-NACK
+	// re-arms do not allocate method-value closures.
+	idleCheckFn  func()
+	flushNacksFn func()
+	sendReportFn func()
+	frameFireFn  func()
+	underrunFn   func()
+	timeUpFn     func()
 }
 
 // New builds a Player; Start launches it.
@@ -224,7 +244,7 @@ func New(cfg Config) *Player {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.New(rand.NewSource(1))
 	}
-	return &Player{
+	p := &Player{
 		cfg:             cfg,
 		st:              &Stats{URL: cfg.URL, Server: cfg.ControlAddr, Protocol: cfg.Protocol},
 		pending:         make(map[int]func(*rtsp.Message)),
@@ -233,6 +253,16 @@ func New(cfg Config) *Player {
 		nackOutstanding: make(map[uint32]int),
 		state:           "setup",
 	}
+	p.idleCheckFn = p.idleCheck
+	p.flushNacksFn = p.flushNacks
+	p.sendReportFn = p.sendReport
+	p.underrunFn = p.underrun
+	p.timeUpFn = p.timeUp
+	p.frameFireFn = func() {
+		p.frameTimer = nil
+		p.playFrame(p.cfg.Clock.Now())
+	}
+	return p
 }
 
 // Start begins the session: dial control, DESCRIBE, SETUP, PLAY.
@@ -364,8 +394,8 @@ func (p *Player) play() {
 		}
 		p.state = "buffering"
 		p.buffStart = p.cfg.Clock.Now()
-		p.endAt = p.cfg.Clock.After(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, p.timeUp)
-		p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReport)
+		p.endAt = p.cfg.Clock.After(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, p.timeUpFn)
+		p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReportFn)
 	})
 }
 
@@ -490,6 +520,9 @@ func (p *Player) onDataPacket(d *rdt.Data) {
 			p.highestSeq = d.Seq
 		}
 		p.recvSeqCount++
+		if d.Seq < p.seqFloor {
+			p.lowSeqs = append(p.lowSeqs, d.Seq)
+		}
 		p.haveSeq[d.Seq] = d
 		p.gcSeqs()
 	}
@@ -509,7 +542,7 @@ func (p *Player) armNack() {
 	if p.nackTimer != nil {
 		return
 	}
-	p.nackTimer = p.cfg.Clock.After(nackDelay, p.flushNacks)
+	p.nackTimer = p.cfg.Clock.After(nackDelay, p.flushNacksFn)
 }
 
 func (p *Player) flushNacks() {
@@ -542,10 +575,14 @@ func (p *Player) flushNacks() {
 		p.data.Send(pkt, rdt.WireSize(pkt))
 	}
 	// Retry unanswered requests.
-	p.nackTimer = p.cfg.Clock.After(nackRetry, p.flushNacks)
+	p.nackTimer = p.cfg.Clock.After(nackRetry, p.flushNacksFn)
 }
 
-// gcSeqs bounds the FEC window memory.
+// gcSeqs bounds the FEC window memory. Seqs arrive (nearly) monotonically,
+// so expiry is a forward sweep from seqFloor rather than a whole-map scan
+// per packet; the occasional late retransmission below the floor is tracked
+// in lowSeqs and expired on the same sweep. The resulting set is identical
+// to the old full scan's at every step.
 func (p *Player) gcSeqs() {
 	const window = 512
 	if len(p.haveSeq) <= window {
@@ -555,10 +592,16 @@ func (p *Player) gcSeqs() {
 	if p.highestSeq > window {
 		cut = p.highestSeq - window
 	}
-	for seq := range p.haveSeq {
-		if seq < cut {
-			delete(p.haveSeq, seq)
+	for ; p.seqFloor < cut; p.seqFloor++ {
+		delete(p.haveSeq, p.seqFloor)
+	}
+	if len(p.lowSeqs) > 0 {
+		// Every recorded low seq is below some earlier floor, hence below
+		// the current cut.
+		for _, s := range p.lowSeqs {
+			delete(p.haveSeq, s)
 		}
+		p.lowSeqs = p.lowSeqs[:0]
 	}
 }
 
@@ -711,7 +754,7 @@ func (p *Player) beginPlayout(now time.Duration) {
 	if p.endAt != nil {
 		p.endAt.Cancel()
 	}
-	p.endAt = p.cfg.Clock.After(p.cfg.PlayFor, p.timeUp)
+	p.endAt = p.cfg.Clock.After(p.cfg.PlayFor, p.timeUpFn)
 	p.scheduleNextFrame()
 }
 
@@ -742,7 +785,7 @@ func (p *Player) scheduleNextFrame() {
 		// be late); only a sustained drought is an underrun that halts
 		// playback for rebuffering.
 		if p.graceTimer == nil {
-			p.graceTimer = p.cfg.Clock.After(underrunGrace, p.underrun)
+			p.graceTimer = p.cfg.Clock.After(underrunGrace, p.underrunFn)
 		}
 		return
 	}
@@ -761,10 +804,7 @@ func (p *Player) scheduleNextFrame() {
 		p.playFrame(now)
 		return
 	}
-	p.frameTimer = p.cfg.Clock.After(due-now, func() {
-		p.frameTimer = nil
-		p.playFrame(p.cfg.Clock.Now())
-	})
+	p.frameTimer = p.cfg.Clock.After(due-now, p.frameFireFn)
 }
 
 // underrun fires when the buffer stayed empty through the grace window:
@@ -903,7 +943,7 @@ func (p *Player) sendReport() {
 	if p.state == "done" {
 		return
 	}
-	p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReport)
+	p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReportFn)
 	// Timeline sample (Figure 1): bandwidth and frame rate this second.
 	p.st.Timeline = append(p.st.Timeline, TimePoint{
 		T:    p.cfg.Clock.Now(),
@@ -997,15 +1037,34 @@ func jitterOf(times []time.Duration) float64 {
 func (p *Player) timeUp() { p.finish(nil) }
 
 func (p *Player) touchIdle() {
-	if p.idle != nil {
-		p.idle.Cancel()
+	if p.state == "done" {
+		if p.idle != nil {
+			p.idle.Cancel()
+			p.idle = nil
+		}
+		return
 	}
+	p.idleDeadline = p.cfg.Clock.Now() + idleTimeout
+	if p.idle == nil {
+		p.idle = p.cfg.Clock.After(idleTimeout, p.idleCheckFn)
+	}
+}
+
+// idleCheck fires when the standing idle timer expires: if activity moved
+// the deadline forward in the meantime it re-arms for the remainder,
+// otherwise the session has truly been idle for idleTimeout and ends — the
+// same instant the old per-packet re-armed timer would have fired.
+func (p *Player) idleCheck() {
+	p.idle = nil
 	if p.state == "done" {
 		return
 	}
-	p.idle = p.cfg.Clock.After(idleTimeout, func() {
+	now := p.cfg.Clock.Now()
+	if now >= p.idleDeadline {
 		p.finish(errors.New("player: session idle timeout"))
-	})
+		return
+	}
+	p.idle = p.cfg.Clock.After(p.idleDeadline-now, p.idleCheckFn)
 }
 
 func (p *Player) finish(err error) {

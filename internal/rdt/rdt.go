@@ -217,6 +217,23 @@ var (
 // The checksum covers the body with the checksum field itself zeroed.
 func Encode(p *Packet) ([]byte, error) {
 	w := packet.NewWriter(64)
+	if err := EncodeTo(w, p); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeTo appends p's wire encoding to w, allocating nothing beyond buffer
+// growth — the live-socket send path keeps one Writer per connection and
+// Resets it between packets. On error the writer is rolled back to its
+// length at entry.
+func EncodeTo(w *packet.Writer, p *Packet) (err error) {
+	base := w.Len()
+	defer func() {
+		if err != nil {
+			w.Truncate(base)
+		}
+	}()
 	w.U8(magic)
 	w.U8(version)
 	w.U8(uint8(p.Kind))
@@ -228,10 +245,10 @@ func Encode(p *Packet) ([]byte, error) {
 	case TypeData:
 		d := p.Data
 		if d == nil {
-			return nil, errors.New("rdt: TypeData with nil Data")
+			return errors.New("rdt: TypeData with nil Data")
 		}
 		if d.PayloadLen() > MaxPayload {
-			return nil, ErrTooLarge
+			return ErrTooLarge
 		}
 		w.U8(uint8(d.Stream))
 		w.U8(d.Flags)
@@ -246,14 +263,14 @@ func Encode(p *Packet) ([]byte, error) {
 		}
 		w.U8(fc)
 		if d.Payload == nil && d.PadLen > 0 {
-			w.Bytes16(make([]byte, d.PadLen))
+			w.Zeros16(d.PadLen)
 		} else {
 			w.Bytes16(d.Payload)
 		}
 	case TypeReport:
 		r := p.Report
 		if r == nil {
-			return nil, errors.New("rdt: TypeReport with nil Report")
+			return errors.New("rdt: TypeReport with nil Report")
 		}
 		w.U32(r.Expected)
 		w.U32(r.Lost)
@@ -264,13 +281,13 @@ func Encode(p *Packet) ([]byte, error) {
 	case TypeRepair:
 		r := p.Repair
 		if r == nil {
-			return nil, errors.New("rdt: TypeRepair with nil Repair")
+			return errors.New("rdt: TypeRepair with nil Repair")
 		}
 		if r.ParityLen() > MaxPayload {
-			return nil, ErrTooLarge
+			return ErrTooLarge
 		}
 		if len(r.Meta) > 0xFF {
-			return nil, ErrTooLarge // the member count is one wire byte
+			return ErrTooLarge // the member count is one wire byte
 		}
 		w.U8(uint8(r.Stream))
 		w.U8(r.Group)
@@ -287,30 +304,30 @@ func Encode(p *Packet) ([]byte, error) {
 			w.U16(m.Size)
 		}
 		if r.Parity == nil && r.PadLen > 0 {
-			w.Bytes16(make([]byte, r.PadLen))
+			w.Zeros16(r.PadLen)
 		} else {
 			w.Bytes16(r.Parity)
 		}
 	case TypeBufferState:
 		b := p.BufferState
 		if b == nil {
-			return nil, errors.New("rdt: TypeBufferState with nil BufferState")
+			return errors.New("rdt: TypeBufferState with nil BufferState")
 		}
 		w.U32(b.Ms)
 		w.U32(b.Target)
 	case TypeEndOfStream:
 		e := p.EOS
 		if e == nil {
-			return nil, errors.New("rdt: TypeEndOfStream with nil EOS")
+			return errors.New("rdt: TypeEndOfStream with nil EOS")
 		}
 		w.U32(e.FinalSeq)
 	case TypeNack:
 		nk := p.Nack
 		if nk == nil {
-			return nil, errors.New("rdt: TypeNack with nil Nack")
+			return errors.New("rdt: TypeNack with nil Nack")
 		}
 		if len(nk.Seqs) > MaxNackSeqs {
-			return nil, ErrTooLarge
+			return ErrTooLarge
 		}
 		w.U8(uint8(nk.Stream))
 		w.U8(uint8(len(nk.Seqs)))
@@ -318,14 +335,14 @@ func Encode(p *Packet) ([]byte, error) {
 			w.U32(s)
 		}
 	default:
-		return nil, ErrBadType
+		return ErrBadType
 	}
 
 	out := w.Bytes()
 	sum := packet.Checksum(out[start:])
-	out[4] = byte(sum >> 8)
-	out[5] = byte(sum)
-	return out, nil
+	out[base+4] = byte(sum >> 8)
+	out[base+5] = byte(sum)
+	return nil
 }
 
 // Decode parses a wire packet produced by Encode.

@@ -42,7 +42,7 @@ type streamSession struct {
 	maxKbps float64 // client's configured maximum bit rate
 	ctrl    ratecontrol.Controller
 	dataTCP transport.Conn
-	dataUDP portConn // port-backed view for UDP sends
+	dataUDP transport.Conn // port-backed view for UDP sends, peer resolved once
 
 	src      *media.FrameSource
 	encIdx   int
@@ -69,8 +69,17 @@ type streamSession struct {
 	healthyChecks int
 
 	// sentVideo retains recently sent video packets for NACK retransmission
-	// (UDP only).
+	// (UDP only). sentFloor is the lowest seq possibly still present: video
+	// seqs are handed out monotonically, so expiry is a forward sweep from
+	// the floor instead of a full map scan per packet.
 	sentVideo map[uint32]*rdt.Data
+	sentFloor uint32
+
+	// paceFn/checkFn are the timer callbacks, bound once so re-arming the
+	// pace and check timers does not allocate a fresh method-value closure
+	// every quantum.
+	paceFn  func()
+	checkFn func()
 
 	// Per-stream frame counters: the player relies on video FrameIndex
 	// continuity to detect decode-chain damage (GOP corruption).
@@ -78,8 +87,10 @@ type streamSession struct {
 	audioFrameCtr uint32
 
 	// pending holds a frame drawn from the source that exceeded the UDP
-	// rate budget; it is sent first on the next quantum.
-	pending *media.Frame
+	// rate budget; it is sent first on the next quantum. Stored by value so
+	// stashing a frame does not allocate.
+	pending    media.Frame
+	hasPending bool
 
 	// Upswitch backoff: a stream that steps up and promptly suffers loss
 	// waits exponentially longer before the next attempt, so a saturated
@@ -108,6 +119,8 @@ func newStreamSession(s *Server, id string, clip *media.Clip, spec rtsp.Transpor
 	sess.encIdx = clip.EncodingIndexFor(maxKbps)
 	sess.sentVideo = make(map[uint32]*rdt.Data)
 	sess.failedRungs = make(map[int]int)
+	sess.paceFn = sess.pace
+	sess.checkFn = sess.check
 	if spec.Protocol == "udp" {
 		// Pace from the client's stated connection speed, not the encoding:
 		// a broadband-only clip served to a modem must still start at modem
@@ -117,21 +130,10 @@ func newStreamSession(s *Server, id string, clip *media.Clip, spec rtsp.Transpor
 			start = maxKbps
 		}
 		sess.ctrl = s.cfg.NewController(start)
-		sess.dataUDP = portConn{port: s.udpPort, raddr: spec.ClientDataAddr}
+		sess.dataUDP = s.udpPort.ConnFor(spec.ClientDataAddr)
 	}
 	return sess
 }
-
-// portConn adapts the server's shared UDP port to a per-session Conn-like
-// sender.
-type portConn struct {
-	port interface {
-		SendTo(addr string, payload any, size int) error
-	}
-	raddr string
-}
-
-func (p portConn) send(payload any, size int) error { return p.port.SendTo(p.raddr, payload, size) }
 
 func (sess *streamSession) bindTCPData(conn transport.Conn) {
 	sess.dataTCP = conn
@@ -195,14 +197,14 @@ func (sess *streamSession) schedulePace() {
 	if sess.stopped || !sess.playing {
 		return
 	}
-	sess.paceTimer = sess.srv.cfg.Clock.After(paceQuantum, sess.pace)
+	sess.paceTimer = sess.srv.cfg.Clock.After(paceQuantum, sess.paceFn)
 }
 
 func (sess *streamSession) scheduleCheck() {
 	if sess.stopped {
 		return
 	}
-	sess.checkTimer = sess.srv.cfg.Clock.After(switchCheck, sess.check)
+	sess.checkTimer = sess.srv.cfg.Clock.After(switchCheck, sess.checkFn)
 }
 
 // pace sends due frames, respecting the ahead window and (for UDP) the rate
@@ -253,8 +255,8 @@ func (sess *streamSession) pace() {
 			}
 		}
 		var frame media.Frame
-		if sess.pending != nil {
-			frame = *sess.pending
+		if sess.hasPending {
+			frame = sess.pending
 		} else {
 			f, ok := sess.src.Next()
 			if !ok {
@@ -266,12 +268,13 @@ func (sess *streamSession) pace() {
 		if sess.spec.Protocol == "udp" {
 			if sess.budget < float64(frame.Size) {
 				// Out of rate budget; stash the frame for the next quantum.
-				sess.pending = &frame
+				sess.pending = frame
+				sess.hasPending = true
 				break
 			}
 			sess.budget -= float64(frame.Size)
 		}
-		sess.pending = nil
+		sess.hasPending = false
 		sess.sendFrame(frame)
 		sess.mediaPos = frame.MediaTime
 	}
@@ -368,7 +371,7 @@ func (sess *streamSession) accumulateFEC(d *rdt.Data) {
 func (sess *streamSession) sendData(pkt *rdt.Packet) {
 	size := rdt.WireSize(pkt)
 	if sess.spec.Protocol == "udp" {
-		sess.dataUDP.send(pkt, size)
+		sess.dataUDP.Send(pkt, size)
 		return
 	}
 	if sess.dataTCP != nil {
@@ -523,7 +526,7 @@ func (sess *streamSession) applySwitch(idx int) {
 	sess.switches++
 	enc := sess.clip.Encodings[idx]
 	sess.src = media.NewFrameSourceAt(sess.clip, enc, sess.mediaPos)
-	sess.pending = nil
+	sess.hasPending = false
 }
 
 func (sess *streamSession) onFeedback(pkt *rdt.Packet) {
@@ -539,16 +542,16 @@ func (sess *streamSession) onFeedback(pkt *rdt.Packet) {
 }
 
 // rememberVideo retains a sent video packet for possible retransmission,
-// bounded to the recent window.
+// bounded to the recent window. Seqs are assigned monotonically, so the
+// expiry sweep walks forward from sentFloor — amortized O(1) per packet
+// where a whole-map scan used to dominate the campaign CPU profile.
 func (sess *streamSession) rememberVideo(d *rdt.Data) {
 	const window = 512
 	sess.sentVideo[d.Seq] = d
 	if len(sess.sentVideo) > window {
 		cut := d.Seq - window
-		for seq := range sess.sentVideo {
-			if seq < cut {
-				delete(sess.sentVideo, seq)
-			}
+		for ; sess.sentFloor < cut; sess.sentFloor++ {
+			delete(sess.sentVideo, sess.sentFloor)
 		}
 	}
 }

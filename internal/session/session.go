@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"realtracer/internal/media"
+	"realtracer/internal/packet"
 	"realtracer/internal/rdt"
 	"realtracer/internal/rtsp"
 	"realtracer/internal/transport"
@@ -183,6 +184,33 @@ func (Codec) Encode(payload any) ([]byte, error) {
 	}
 }
 
+// EncodeTo implements transport.WriterCodec: it appends the frame to a
+// caller-owned writer, so the live-socket send path reuses one buffer per
+// connection instead of allocating per packet. On error the writer is rolled
+// back to its length at entry.
+func (Codec) EncodeTo(w *packet.Writer, payload any) error {
+	base := w.Len()
+	switch m := payload.(type) {
+	case *rtsp.Message:
+		w.U8(chanRTSP)
+		w.Raw(m.Marshal())
+		return nil
+	case *rdt.Packet:
+		w.U8(chanRDT)
+		if err := rdt.EncodeTo(w, m); err != nil {
+			w.Truncate(base)
+			return err
+		}
+		return nil
+	case *DataHello:
+		w.U8(chanHello)
+		w.Raw([]byte(m.SessionID))
+		return nil
+	default:
+		return fmt.Errorf("session: cannot encode %T", payload)
+	}
+}
+
 // Decode implements transport.Codec.
 func (Codec) Decode(data []byte) (any, error) {
 	if len(data) == 0 {
@@ -206,6 +234,9 @@ var _ transport.Codec = Codec{}
 // both transport.UDPPort (simulation) and transport.RealUDPPort (sockets).
 type DataPort interface {
 	SendTo(addr string, payload any, size int) error
+	// ConnFor returns a send-only Conn view of the port talking to raddr,
+	// with the destination resolved once — the per-session fast path.
+	ConnFor(raddr string) transport.Conn
 	LocalAddr() string
 	Close() error
 }

@@ -5,23 +5,47 @@
 // timestamp order (FIFO among equal timestamps). Nothing ever sleeps on the
 // wall clock, which makes an 11-day measurement study reproducible in
 // milliseconds of real time.
+//
+// The scheduler is built for the zero-allocation hot path of the network
+// simulator: events live on a free-list and are recycled after they fire or
+// are reaped, the priority queue is a concrete 4-ary heap of *Event (no
+// container/heap interface boxing), and hot callers schedule an EventHandler
+// — a reusable object with a Fire method — instead of a fresh closure. The
+// closure API (At/After) remains for cold paths; closure events are never
+// pooled, so their *Event handles stay valid forever.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
 )
 
+// EventHandler is the allocation-free alternative to a closure: hot-path
+// components implement Fire once and schedule themselves (or a reusable
+// sub-object) with AtHandler/AfterHandler, so nothing is captured per event.
+type EventHandler interface {
+	// Fire runs the event's action at virtual time now.
+	Fire(now time.Duration)
+}
+
 // Event is a scheduled callback. Events fire in (At, seq) order so that two
 // events scheduled for the same instant run in scheduling order.
+//
+// Events returned by At/After are owned by the caller and never recycled.
+// Events backing AtHandler/AfterHandler come from the clock's free-list and
+// are returned to it after firing or reaping; cancel those only through the
+// generation-checked Timer handle.
 type Event struct {
 	At  time.Duration // virtual time at which the event fires
 	Fn  func()
+	h   EventHandler
 	seq uint64
-	idx int  // index in the heap, -1 once popped or cancelled
-	off bool // cancelled
+	gen uint32 // incremented on every recycle; Timer handles check it
+	off bool   // cancelled
+	// pooled marks free-list events (handler API); closure events are not
+	// recycled because their *Event handle escapes to the caller.
+	pooled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -35,33 +59,27 @@ func (e *Event) Cancel() {
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e != nil && e.off }
 
-type eventHeap []*Event
+// Timer is a cancellable handle to a pooled handler event. It carries the
+// event's generation at scheduling time, so a stale handle — one whose event
+// has already fired and been recycled for a different purpose — cancels
+// nothing. The zero Timer is inert.
+type Timer struct {
+	e   *Event
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// Cancel prevents the event from firing, if this handle still refers to the
+// live generation. Cancelling a fired, reaped, or zero Timer is a no-op.
+func (t Timer) Cancel() {
+	if t.e != nil && t.e.gen == t.gen {
+		t.e.off = true
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+
+// Active reports whether the handle still refers to a scheduled, uncancelled
+// event.
+func (t Timer) Active() bool {
+	return t.e != nil && t.e.gen == t.gen && !t.e.off
 }
 
 // Clock is a single-threaded discrete-event scheduler. It is not safe for
@@ -70,7 +88,8 @@ func (h *eventHeap) Pop() any {
 type Clock struct {
 	now    time.Duration
 	seq    uint64
-	events eventHeap
+	events []*Event // 4-ary min-heap ordered by (At, seq)
+	free   []*Event // recycled pooled events
 	fired  uint64
 }
 
@@ -89,6 +108,45 @@ func (c *Clock) Fired() uint64 { return c.fired }
 // cancelled events that have not yet been reaped.
 func (c *Clock) Pending() int { return len(c.events) }
 
+// FreeListLen reports the size of the event free-list, for pool tests.
+func (c *Clock) FreeListLen() int { return len(c.free) }
+
+// schedule enqueues an event at absolute time t (clamped to now). Pooled
+// events are drawn from the free-list.
+func (c *Clock) schedule(t time.Duration, fn func(), h EventHandler, pooled bool) *Event {
+	if t < c.now {
+		t = c.now
+	}
+	var e *Event
+	if pooled && len(c.free) > 0 {
+		e = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		e = &Event{}
+	}
+	e.At = t
+	e.Fn = fn
+	e.h = h
+	e.seq = c.seq
+	e.off = false
+	e.pooled = pooled
+	c.seq++
+	c.push(e)
+	return e
+}
+
+// release returns a pooled event to the free-list, bumping its generation so
+// stale Timer handles become inert.
+func (c *Clock) release(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.gen++
+	e.Fn = nil
+	e.h = nil
+	c.free = append(c.free, e)
+}
+
 // At schedules fn to run at absolute virtual time t. If t is in the past the
 // event fires at the current time (never before Now). The returned Event may
 // be used to cancel the callback.
@@ -96,13 +154,7 @@ func (c *Clock) At(t time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("simclock: At called with nil func")
 	}
-	if t < c.now {
-		t = c.now
-	}
-	e := &Event{At: t, Fn: fn, seq: c.seq}
-	c.seq++
-	heap.Push(&c.events, e)
-	return e
+	return c.schedule(t, fn, nil, false)
 }
 
 // After schedules fn to run d after the current virtual time. Negative
@@ -114,12 +166,34 @@ func (c *Clock) After(d time.Duration, fn func()) *Event {
 	return c.At(c.now+d, fn)
 }
 
+// AtHandler schedules h.Fire at absolute virtual time t on a pooled event:
+// after the event fires or is reaped it is recycled, so steady-state
+// scheduling allocates nothing. The returned Timer is the only safe way to
+// cancel it.
+func (c *Clock) AtHandler(t time.Duration, h EventHandler) Timer {
+	if h == nil {
+		panic("simclock: AtHandler called with nil handler")
+	}
+	e := c.schedule(t, nil, h, true)
+	return Timer{e: e, gen: e.gen}
+}
+
+// AfterHandler schedules h.Fire d after the current virtual time on a pooled
+// event. Negative durations are clamped to zero.
+func (c *Clock) AfterHandler(d time.Duration, h EventHandler) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.AtHandler(c.now+d, h)
+}
+
 // Step runs the single next pending event, advancing the clock to its
 // timestamp. It returns false when no events remain.
 func (c *Clock) Step() bool {
 	for len(c.events) > 0 {
-		e := heap.Pop(&c.events).(*Event)
+		e := c.pop()
 		if e.off {
+			c.release(e)
 			continue
 		}
 		if e.At < c.now {
@@ -127,7 +201,16 @@ func (c *Clock) Step() bool {
 		}
 		c.now = e.At
 		c.fired++
-		e.Fn()
+		fn, h := e.Fn, e.h
+		// Recycle before running: the handler may immediately re-arm and
+		// reuse this very event, and any Timer held for it is already stale
+		// (generation bumped) by the time user code runs again.
+		c.release(e)
+		if h != nil {
+			h.Fire(c.now)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -147,7 +230,7 @@ func (c *Clock) RunUntil(t time.Duration) {
 		// Peek: the heap root is the earliest event.
 		next := c.events[0]
 		if next.off {
-			heap.Pop(&c.events)
+			c.release(c.pop())
 			continue
 		}
 		if next.At > t {
@@ -165,3 +248,68 @@ func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.now + d) }
 
 // MaxDuration is a run horizon that effectively means "forever".
 const MaxDuration = time.Duration(math.MaxInt64)
+
+// --- 4-ary min-heap ---
+//
+// A 4-ary heap halves the tree depth of the binary container/heap it
+// replaced and keeps the four children of a node on one cache line of
+// pointers; together with the concrete element type (no `any` boxing) this
+// takes the scheduler off the campaign profile.
+
+func eventLess(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (c *Clock) push(e *Event) {
+	c.events = append(c.events, e)
+	i := len(c.events) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(c.events[i], c.events[p]) {
+			break
+		}
+		c.events[i], c.events[p] = c.events[p], c.events[i]
+		i = p
+	}
+}
+
+func (c *Clock) pop() *Event {
+	h := c.events
+	n := len(h)
+	top := h[0]
+	last := h[n-1]
+	h[n-1] = nil
+	c.events = h[:n-1]
+	n--
+	if n == 0 {
+		return top
+	}
+	h[0] = last
+	// Sift the displaced last element down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for j := first + 1; j < end; j++ {
+			if eventLess(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !eventLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

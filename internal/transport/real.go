@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"realtracer/internal/packet"
 	"realtracer/internal/vclock"
 )
 
@@ -18,6 +19,51 @@ import (
 type Codec interface {
 	Encode(payload any) ([]byte, error)
 	Decode(data []byte) (any, error)
+}
+
+// WriterCodec is the recycling fast path: codecs that can append a frame to
+// a caller-owned packet.Writer let each real conn keep one encode buffer for
+// its lifetime instead of allocating per send. internal/session's Codec
+// implements it.
+type WriterCodec interface {
+	EncodeTo(w *packet.Writer, payload any) error
+}
+
+// frameWriter is the per-connection reusable encode buffer, guarded by its
+// own mutex because live-mode Sends can race Close.
+type frameWriter struct {
+	mu sync.Mutex
+	w  *packet.Writer
+}
+
+// encodeFrame encodes payload via the codec into the recycled buffer with
+// prefix bytes reserved at the front, and passes the finished frame to emit
+// while the buffer lock is held. Falls back to the allocating Codec path
+// when the codec cannot append.
+func (fw *frameWriter) encodeFrame(codec Codec, payload any, prefix int, emit func(frame []byte) error) error {
+	wc, ok := codec.(WriterCodec)
+	if !ok {
+		data, err := codec.Encode(payload)
+		if err != nil {
+			return err
+		}
+		frame := make([]byte, prefix+len(data))
+		copy(frame[prefix:], data)
+		return emit(frame)
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.w == nil {
+		fw.w = packet.NewWriter(2048)
+	}
+	fw.w.Reset()
+	for i := 0; i < prefix; i++ {
+		fw.w.U8(0)
+	}
+	if err := wc.EncodeTo(fw.w, payload); err != nil {
+		return err
+	}
+	return emit(fw.w.Bytes())
 }
 
 // maxFrame bounds a length-prefixed TCP frame; anything larger indicates a
@@ -31,6 +77,7 @@ type RealTCPConn struct {
 	c     net.Conn
 	codec Codec
 	loop  *vclock.Loop
+	enc   frameWriter // recycled encode buffer
 
 	mu     sync.Mutex
 	recv   func(any, int)
@@ -121,18 +168,17 @@ func (rc *RealTCPConn) Send(payload any, _ int) error {
 	if closed {
 		return ErrClosed
 	}
-	data, err := rc.codec.Encode(payload)
-	if err != nil {
+	// The 4-byte length prefix is reserved up front and patched in, so the
+	// whole frame goes out as one Write from the recycled buffer.
+	return rc.enc.encodeFrame(rc.codec, payload, 4, func(frame []byte) error {
+		n := len(frame) - 4
+		if n > maxFrame {
+			return fmt.Errorf("transport: frame too large: %d", n)
+		}
+		binary.BigEndian.PutUint32(frame, uint32(n))
+		_, err := rc.c.Write(frame)
 		return err
-	}
-	if len(data) > maxFrame {
-		return fmt.Errorf("transport: frame too large: %d", len(data))
-	}
-	frame := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
-	_, err = rc.c.Write(frame)
-	return err
+	})
 }
 
 // SetReceiver implements Conn.
@@ -175,6 +221,7 @@ type RealUDPPort struct {
 	pc    net.PacketConn
 	codec Codec
 	loop  *vclock.Loop
+	enc   frameWriter // recycled encode buffer
 
 	mu     sync.Mutex
 	closed bool
@@ -221,12 +268,10 @@ func (p *RealUDPPort) SendTo(addr string, payload any, _ int) error {
 	if err != nil {
 		return err
 	}
-	data, err := p.codec.Encode(payload)
-	if err != nil {
+	return p.enc.encodeFrame(p.codec, payload, 0, func(frame []byte) error {
+		_, err := p.pc.WriteTo(frame, raddr)
 		return err
-	}
-	_, err = p.pc.WriteTo(data, raddr)
-	return err
+	})
 }
 
 // Close unbinds the socket.
@@ -269,6 +314,7 @@ type RealUDPConn struct {
 	c     *net.UDPConn
 	codec Codec
 	loop  *vclock.Loop
+	enc   frameWriter // recycled encode buffer
 
 	mu     sync.Mutex
 	recv   func(any, int)
@@ -319,12 +365,10 @@ func (rc *RealUDPConn) Send(payload any, _ int) error {
 	if closed {
 		return ErrClosed
 	}
-	data, err := rc.codec.Encode(payload)
-	if err != nil {
+	return rc.enc.encodeFrame(rc.codec, payload, 0, func(frame []byte) error {
+		_, err := rc.c.Write(frame)
 		return err
-	}
-	_, err = rc.c.Write(data)
-	return err
+	})
 }
 
 // SetReceiver implements Conn.

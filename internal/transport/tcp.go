@@ -22,9 +22,10 @@ import (
 // It deliberately omits byte-granularity sequence space, SACK, Nagle and
 // flow-control negotiation; none of those change the study's observables.
 type simTCP struct {
-	stack *Stack
-	laddr netsim.Addr
-	raddr netsim.Addr
+	stack   *Stack
+	laddr   netsim.Addr
+	raddr   netsim.Addr
+	raddrID netsim.HostID // resolved once; refreshed when raddr changes
 
 	established   bool
 	closed        bool
@@ -44,7 +45,7 @@ type simTCP struct {
 	// RTT estimation (Jacobson/Karels).
 	srtt, rttvar time.Duration
 	rto          time.Duration
-	rtoTimer     *simclock.Event
+	rtoTimer     simclock.Timer
 
 	// Receiver state.
 	rcvNext uint64
@@ -68,6 +69,7 @@ func newSimTCP(s *Stack, laddr, raddr netsim.Addr) *simTCP {
 		stack:    s,
 		laddr:    laddr,
 		raddr:    raddr,
+		raddrID:  s.net.Intern(raddr.Host()),
 		inflight: make(map[uint64]*tcpSeg),
 		reorder:  make(map[uint64]*tcpSeg),
 		cwnd:     2,
@@ -104,10 +106,8 @@ func (c *simTCP) Close() error {
 }
 
 func (c *simTCP) teardown() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = simclock.Timer{}
 	c.stack.net.Unregister(c.laddr)
 }
 
@@ -158,23 +158,20 @@ func (c *simTCP) transmit(seg *tcpSeg, rexmit bool) {
 }
 
 func (c *simTCP) sendRaw(seg *tcpSeg, size int) {
-	c.stack.net.Send(&netsim.Packet{
-		From:    c.laddr,
-		To:      c.raddr,
-		Size:    size + segHeader,
-		Payload: seg,
-	})
+	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, size+segHeader, seg)
 }
 
+// Fire implements simclock.EventHandler: the conn itself is the RTO timer's
+// handler, so re-arming the timer per ACK allocates nothing.
+func (c *simTCP) Fire(time.Duration) { c.onRTO() }
+
 func (c *simTCP) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	if len(c.inflight) == 0 {
-		c.rtoTimer = nil
+		c.rtoTimer = simclock.Timer{}
 		return
 	}
-	c.rtoTimer = c.stack.clock.After(c.rto, c.onRTO)
+	c.rtoTimer = c.stack.clock.AfterHandler(c.rto, c)
 }
 
 func (c *simTCP) onRTO() {
@@ -236,6 +233,10 @@ func (c *simTCP) onPacket(pkt *netsim.Packet) {
 		c.onSegment(m, pkt)
 	case *tcpAck:
 		c.onAck(m)
+		// The ACK has been fully consumed; recycle it to the stack that
+		// created it. ACKs the network dropped (or that arrived on a closed
+		// conn) just get collected.
+		putAck(m)
 	}
 }
 
@@ -245,6 +246,7 @@ func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
 		// Our SYN was answered; the peer's data address is the SYN-ACK's
 		// source (the listener accepted on an ephemeral port).
 		c.raddr = pkt.From
+		c.raddrID = pkt.FromID
 		c.established = true
 		if c.onEstablished != nil {
 			c.onEstablished()
@@ -279,8 +281,9 @@ func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
 			c.recv(next.payload, next.size)
 		}
 	}
-	ack := &tcpAck{cumAck: c.rcvNext, ts: seg.ts, echoOK: !seg.rexmit}
-	c.stack.net.Send(&netsim.Packet{From: c.laddr, To: pkt.From, Size: ackSize, Payload: ack})
+	ack := c.stack.getAck()
+	ack.cumAck, ack.ts, ack.echoOK = c.rcvNext, seg.ts, !seg.rexmit
+	c.stack.sendPooled(c.laddr, pkt.From, c.stack.hostID, pkt.FromID, ackSize, ack)
 }
 
 func (c *simTCP) onAck(a *tcpAck) {

@@ -80,17 +80,59 @@ const (
 )
 
 // Stack is the per-host transport endpoint factory. One Stack per netsim
-// host.
+// host. The stack interns its host name once, and each connection resolves
+// its remote host once at creation, so the per-packet path hands netsim
+// pre-resolved IDs instead of strings.
 type Stack struct {
-	net   *netsim.Network
-	clock *simclock.Clock
-	host  string
-	next  int // next ephemeral port
+	net     *netsim.Network
+	clock   *simclock.Clock
+	host    string
+	hostID  netsim.HostID
+	next    int       // next ephemeral port
+	ackFree []*tcpAck // recycled ACKs (released after the peer consumes them)
 }
 
 // NewStack binds a stack to a host previously added to the network.
 func NewStack(n *netsim.Network, host string) *Stack {
-	return &Stack{net: n, clock: n.Clock, host: host, next: 10000}
+	return &Stack{net: n, clock: n.Clock, host: host, hostID: n.Intern(host), next: 10000}
+}
+
+// ackFreeMax bounds a stack's ACK free-list; anything beyond it goes to the
+// garbage collector instead of pinning memory for the world's lifetime.
+const ackFreeMax = 256
+
+// getAck draws an ACK from the stack free-list. The ACK remembers its
+// origin so the consuming peer can hand it back to the pool it came from —
+// recycling into the consumer's own pool would grow the data sender's
+// free-list by one ACK per delivered segment while the ACK-sending side
+// never got a single one back.
+func (s *Stack) getAck() *tcpAck {
+	if k := len(s.ackFree); k > 0 {
+		a := s.ackFree[k-1]
+		s.ackFree = s.ackFree[:k-1]
+		return a
+	}
+	return &tcpAck{origin: s}
+}
+
+// putAck recycles an ACK to its originating stack once its receiver is done
+// with it. Safe cross-stack: all stacks of one world share the
+// single-threaded clock. ACKs dropped by the network are simply garbage
+// collected.
+func putAck(a *tcpAck) {
+	if len(a.origin.ackFree) < ackFreeMax {
+		a.origin.ackFree = append(a.origin.ackFree, a)
+	}
+}
+
+// sendPooled ships one pooled packet with pre-resolved endpoints.
+func (s *Stack) sendPooled(from, to netsim.Addr, fromID, toID netsim.HostID, size int, payload any) {
+	pkt := s.net.Obtain()
+	pkt.From, pkt.To = from, to
+	pkt.FromID, pkt.ToID = fromID, toID
+	pkt.Size = size
+	pkt.Payload = payload
+	s.net.Send(pkt)
 }
 
 // Host returns the host name the stack is bound to.
@@ -122,6 +164,7 @@ type tcpAck struct {
 	cumAck uint64 // next expected seq
 	ts     time.Duration
 	echoOK bool
+	origin *Stack // free-list this ACK recycles to
 }
 
 // Listen installs a TCP listener on port. For every handshake the accept
@@ -208,7 +251,8 @@ func (s *Stack) ListenUDP(port int, recv func(from string, payload any, size int
 // DialUDP returns a connected UDP Conn bound to an ephemeral local port.
 // There is no handshake; the conn is usable immediately.
 func (s *Stack) DialUDP(raddr string) Conn {
-	c := &simUDP{stack: s, laddr: s.ephemeral(), raddr: netsim.Addr(raddr)}
+	ra := netsim.Addr(raddr)
+	c := &simUDP{stack: s, laddr: s.ephemeral(), raddr: ra, raddrID: s.net.Intern(ra.Host())}
 	s.net.Register(c.laddr, func(pkt *netsim.Packet) {
 		if c.closed || c.recv == nil {
 			return
@@ -231,12 +275,13 @@ type UDPPort struct {
 // LocalAddr returns the bound address.
 func (p *UDPPort) LocalAddr() string { return string(p.laddr) }
 
-// SendTo transmits one datagram to addr.
+// SendTo transmits one datagram to addr. Senders with a stable peer should
+// prefer ConnFor, which resolves the destination host once.
 func (p *UDPPort) SendTo(addr string, payload any, size int) error {
 	if p.closed {
 		return ErrClosed
 	}
-	p.stack.net.Send(&netsim.Packet{From: p.laddr, To: netsim.Addr(addr), Size: size + udpHeader, Payload: payload})
+	p.stack.sendPooled(p.laddr, netsim.Addr(addr), p.stack.hostID, 0, size+udpHeader, payload)
 	return nil
 }
 
@@ -250,20 +295,29 @@ func (p *UDPPort) Close() error {
 }
 
 // ConnFor returns a Conn view of this port talking to raddr: datagrams sent
-// via the Conn originate from the port's address. Receiving still happens
-// through the port's recv callback, so SetReceiver on the returned Conn
-// panics; servers demultiplex by sender address instead.
+// via the Conn originate from the port's address. The destination host is
+// resolved once here, so per-packet sends skip the name lookups. Receiving
+// still happens through the port's recv callback, so SetReceiver on the
+// returned Conn panics; servers demultiplex by sender address instead.
 func (p *UDPPort) ConnFor(raddr string) Conn {
-	return &udpPortConn{port: p, raddr: raddr}
+	ra := netsim.Addr(raddr)
+	return &udpPortConn{port: p, raddr: raddr, to: ra, toID: p.stack.net.Intern(ra.Host())}
 }
 
 type udpPortConn struct {
 	port  *UDPPort
 	raddr string
+	to    netsim.Addr
+	toID  netsim.HostID
 }
 
 func (c *udpPortConn) Send(payload any, size int) error {
-	return c.port.SendTo(c.raddr, payload, size)
+	if c.port.closed {
+		return ErrClosed
+	}
+	s := c.port.stack
+	s.sendPooled(c.port.laddr, c.to, s.hostID, c.toID, size+udpHeader, payload)
+	return nil
 }
 func (c *udpPortConn) SetReceiver(func(any, int)) {
 	panic("transport: SetReceiver on server-side UDP conn; demux at the port")
@@ -276,18 +330,19 @@ func (c *udpPortConn) RTT() time.Duration { return 0 }
 
 // simUDP is the client-side connected UDP conn.
 type simUDP struct {
-	stack  *Stack
-	laddr  netsim.Addr
-	raddr  netsim.Addr
-	recv   func(any, int)
-	closed bool
+	stack   *Stack
+	laddr   netsim.Addr
+	raddr   netsim.Addr
+	raddrID netsim.HostID
+	recv    func(any, int)
+	closed  bool
 }
 
 func (c *simUDP) Send(payload any, size int) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.stack.net.Send(&netsim.Packet{From: c.laddr, To: c.raddr, Size: size + udpHeader, Payload: payload})
+	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, size+udpHeader, payload)
 	return nil
 }
 func (c *simUDP) SetReceiver(fn func(any, int)) { c.recv = fn }
