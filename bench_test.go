@@ -181,6 +181,35 @@ func BenchmarkPopulationRetain250(b *testing.B) {
 	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
 }
 
+// BenchmarkWorkloadPoisson1k is the open-loop scale benchmark: 1,000
+// Poisson arrivals over a 200-template pool, each session drawing Zipf
+// clips and churning its host on and off the network, streamed into
+// mergeable aggregates. It demonstrates the workload engine riding the
+// zero-allocation discrete-event core — memory stays bounded by aggregate
+// size, and template hosts are recycled through RemoveHost/AddHost all
+// run long.
+func BenchmarkWorkloadPoisson1k(b *testing.B) {
+	b.ReportAllocs()
+	var records, sessions int
+	for i := 0; i < b.N; i++ {
+		agg := figures.NewAggregates()
+		res, err := core.RunStudyStream(core.StudyOptions{
+			Seed: 1, MaxUsers: 200, ClipCap: 2,
+			Workload: "poisson", Arrivals: 1000,
+		}, agg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Total() == 0 || res.Sessions == 0 {
+			b.Fatal("no open-loop records streamed")
+		}
+		records += agg.Total()
+		sessions += res.Sessions
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(sessions)/float64(b.N), "sessions/op")
+}
+
 // --- Campaign engine (internal/campaign) ---
 
 // stabilityScenarios is the 20-replica multi-seed stability campaign: the

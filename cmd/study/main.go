@@ -6,6 +6,7 @@
 //	study [-seed N] [-users N] [-clips N] [-stream] [-out trace.csv]
 //	      [-json trace.json] [-figure figNN | -figures] [-sites] [-timeline]
 //	      [-sweep NAME|list] [-parallel N] [-dynamics NAME|list] [-intensity K]
+//	      [-workload NAME|list] [-load K] [-arrivals N] [-selection NAME|list]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
@@ -22,6 +23,18 @@
 // catalog. The fault-injection sweep families (outage, flashcrowd,
 // lossburst, diurnal) run the same profiles across intensity levels against
 // a dynamics-off control arm via -sweep.
+//
+// -workload switches the study from the paper's closed-loop panel (every
+// user pre-scheduled, the default) to an open-loop session engine: sessions
+// arrive under a named arrival process (poisson, diurnal, flashcrowd),
+// draw clips by Zipf popularity, and leave — attaching and removing their
+// hosts as they churn. -load scales the arrival rate, -arrivals bounds the
+// session budget, and -selection picks the mirror-selection policy (pinned,
+// rtt, roundrobin, leastloaded; clips are replicated across every server in
+// open-loop mode). The selection and churn sweep families run these
+// end-to-end via -sweep. -intensity requires -dynamics, and the open-loop
+// knobs require -workload: a dependent flag without its governing flag is
+// an error, never a silent no-op.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, so hot-path work
 // (the zero-allocation discrete-event core) can keep attacking the profile:
@@ -52,6 +65,7 @@ import (
 	"realtracer/internal/stats"
 	"realtracer/internal/study"
 	"realtracer/internal/trace"
+	"realtracer/internal/workload"
 )
 
 func main() {
@@ -68,10 +82,31 @@ func main() {
 	sweep := flag.String("sweep", "", "run a named campaign sweep over a reduced 14-user/8-clip base study at calibration seed 9 (\"list\" to enumerate; -seed/-users/-clips resize the base)")
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = all cores)")
 	dynamics := flag.String("dynamics", "", "apply a named network-dynamics profile to the run (\"list\" to enumerate the catalog)")
-	intensity := flag.Float64("intensity", 0, "dynamics profile intensity (0 = the calibrated 1x)")
+	intensity := flag.Float64("intensity", 0, "dynamics profile intensity (0 = the calibrated 1x); requires -dynamics")
+	workloadName := flag.String("workload", "", "run the study open-loop under a named arrival-process profile (\"list\" to enumerate the catalog; default: the closed-loop panel)")
+	load := flag.Float64("load", 0, "open-loop arrival intensity (0 = the calibrated 1x); requires -workload")
+	arrivals := flag.Int("arrivals", 0, "open-loop session budget (0 = twice the template pool); requires -workload")
+	selection := flag.String("selection", "", "open-loop server-selection policy: pinned, rtt, roundrobin, leastloaded (\"list\" to enumerate); requires -workload")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// A dependent flag without its governing flag is a hard error, not a
+	// silent no-op: -intensity scales a dynamics profile, and the
+	// open-loop knobs parameterize a workload. ("list" requests pass —
+	// they only enumerate a catalog.)
+	if set["intensity"] && !set["dynamics"] {
+		fatalf("-intensity scales a dynamics profile; give -dynamics NAME (or -dynamics list)")
+	}
+	if *workloadName == "" && *selection != "list" {
+		for _, dep := range []string{"selection", "load", "arrivals"} {
+			if set[dep] {
+				fatalf("-%s configures the open-loop engine; give -workload NAME (or -workload list)", dep)
+			}
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -111,6 +146,20 @@ func main() {
 		}
 		return
 	}
+	if *workloadName == "list" {
+		fmt.Println("workload profiles:")
+		for _, p := range workload.Profiles() {
+			fmt.Printf("  %-12s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+	if *selection == "list" {
+		fmt.Println("server-selection policies (open-loop only):")
+		for _, name := range workload.PolicyNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
 	if *sweep != "" {
 		if *out != "" || *jsonOut != "" || *figure != "" || *figuresAll || *timeline {
 			fatalf("-sweep is incompatible with -out/-json/-figure/-figures/-timeline")
@@ -118,15 +167,16 @@ func main() {
 		if *dynamics != "" {
 			fatalf("-sweep is incompatible with -dynamics: the fault-injection sweep families (outage, flashcrowd, lossburst, diurnal) set their own profiles")
 		}
+		if *workloadName != "" || *selection != "" {
+			fatalf("-sweep is incompatible with -workload/-selection: the open-loop sweep families (selection, churn) set their own workloads")
+		}
 		// Unless -seed was given explicitly, sweeps run at the seed-9
 		// calibration base the ablation benches record, not the study
 		// default of 1.
 		sweepSeed := int64(0)
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "seed" {
-				sweepSeed = *seed
-			}
-		})
+		if set["seed"] {
+			sweepSeed = *seed
+		}
 		runSweep(*sweep, sweepSeed, *users, *clips, *parallel, *stream)
 		return
 	}
@@ -143,7 +193,9 @@ func main() {
 	}
 
 	opts := core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips,
-		Dynamics: *dynamics, DynamicsIntensity: *intensity}
+		Dynamics: *dynamics, DynamicsIntensity: *intensity,
+		Workload: *workloadName, WorkloadIntensity: *load,
+		Arrivals: *arrivals, Selection: *selection}
 	if *stream {
 		if *jsonOut != "" {
 			fatalf("-json needs the retained-records path; use -out for a streaming CSV")
@@ -243,6 +295,7 @@ func runStreaming(opts core.StudyOptions, out, figure string, figuresAll bool) {
 func printStreamSummary(agg *figures.Aggregates, res *core.StudyResult) {
 	fmt.Printf("study complete (streamed): %d users, %d clip attempts over %v of virtual time (%d events)\n",
 		len(res.Users), agg.Total(), res.SimDuration.Round(1e9), res.Events)
+	printOpenLoopLine(res)
 	fmt.Printf("  played=%d unavailable=%d (%.1f%%) rated=%d\n",
 		agg.Played(), agg.Unavailable(), 100*float64(agg.Unavailable())/float64(agg.Total()), agg.Rated())
 	fmt.Printf("  transport: TCP=%d UDP=%d\n", agg.ProtocolPlayed("TCP"), agg.ProtocolPlayed("UDP"))
@@ -253,7 +306,18 @@ func printStreamSummary(agg *figures.Aggregates, res *core.StudyResult) {
 	if jcdf, err := agg.Jitter().CDF(); err == nil {
 		fmt.Printf("  jitter: <=50ms %.0f%%, >=300ms %.0f%%\n", 100*jcdf.At(50), 100*jcdf.FractionAtLeast(300))
 	}
+	printWorkloadRows(agg)
 	fmt.Println("run with -figures (or -figure figNN) for the full evaluation output")
+}
+
+// printOpenLoopLine summarizes the session lifecycle of an open-loop run;
+// closed-loop results print nothing.
+func printOpenLoopLine(res *core.StudyResult) {
+	if res.Sessions == 0 {
+		return
+	}
+	fmt.Printf("  open-loop: %d sessions admitted, %d balked, %d departed mid-stream\n",
+		res.Sessions, res.Balked, res.Departed)
 }
 
 // runSweep executes one registered campaign sweep across the worker pool
@@ -316,10 +380,29 @@ func runSweep(name string, seed int64, users, clips, workers int, stream bool) {
 			merged.Total(), merged.Played(), merged.Rated(), merged.FrameRate().Mean())
 	}
 	printRobustness(merged)
+	printWorkloadRows(merged)
 	fmt.Printf("sweep %s: %d scenarios on %d workers in %v\n",
 		sw.Name, len(sum.Results), sum.Workers, sum.Elapsed.Round(1e6))
 	if err := sum.Err(); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// printWorkloadRows prints the per-selection-policy workload breakdown —
+// startup delay, stalls, and how evenly plays spread across the mirrors —
+// plus the concurrent-session peak. Panel-only aggregates print nothing.
+func printWorkloadRows(agg *figures.Aggregates) {
+	rows := agg.Workload()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("  workload by selection policy (per played clip):")
+	for _, r := range rows {
+		fmt.Printf("    %-12s played=%-4d failed=%-3d startup mean=%.1fs  rebuffers mean=%.2f  servers=%-2d load-balance CV=%.2f\n",
+			r.Policy, r.Played, r.Failed, r.MeanStartupSec, r.MeanRebuffers, r.Servers, r.LoadBalance)
+	}
+	if peak, at := agg.PeakConcurrency(); peak > 0 {
+		fmt.Printf("  concurrency: peak %d clips in flight at minute %d\n", peak, at)
 	}
 }
 
@@ -367,6 +450,7 @@ func printSummary(res *core.StudyResult) {
 	jcdf, _ := stats.NewCDF(jit)
 	fmt.Printf("study complete: %d users, %d clip attempts over %v of virtual time (%d events)\n",
 		len(res.Users), len(res.Records), res.SimDuration.Round(1e9), res.Events)
+	printOpenLoopLine(res)
 	fmt.Printf("  played=%d unavailable=%d (%.1f%%) rated=%d\n",
 		len(played), unavailable, 100*float64(unavailable)/float64(len(res.Records)), len(rated))
 	fmt.Printf("  transport: TCP=%d UDP=%d\n", protos["TCP"], protos["UDP"])

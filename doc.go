@@ -31,6 +31,24 @@
 // byte-identical. Profile with `study -cpuprofile/-memprofile`; the perf
 // trajectory lives in BENCH_pr4.json.
 //
+// The session engine is open-loop as well as closed: the paper's fixed
+// 63-user panel is one workload ("panel", the default) in internal/workload's
+// catalog. Open-loop workloads (poisson, diurnal, flashcrowd) admit sessions
+// over virtual time via an arrival process — Lewis–Shedler thinning over a
+// time-varying rate — with Zipf clip popularity, geometric session lengths,
+// and mid-stream abandonment; each arrival attaches its host to the network
+// and each departure removes it (netsim.RemoveHost), so the population
+// churns like a production service's. Clips replicate across every server
+// site in open-loop mode and a pluggable selection policy (pinned, rtt,
+// roundrobin, leastloaded — the last probing live server load) re-homes each
+// request; study.SessionFactory is the seam both modes share, driven once
+// per user at build time by the panel and once per arrival on the simclock
+// by the workload generator. The panel-mode byte-identical rule: the default
+// workload must produce output byte-identical to a build without the
+// workload layer (pinned by the golden figures snapshot), and open-loop
+// campaign records must be byte-identical across worker counts (per-scenario
+// workload seeds derive from scenario names).
+//
 // Entry points: internal/core (run the study via RunStudy, stream it into
 // mergeable figure aggregates via RunStudyAggregates, fan multi-scenario
 // sweeps across a worker pool via RunCampaign / RunCampaignAggregates,

@@ -162,6 +162,13 @@ func runScenario(sc Scenario, cfg Config) ScenarioResult {
 		// weather from the base seed so seed sweeps share one weather track.
 		sc.Options.DynamicsSeed = DeriveSeed(cfg.BaseSeed, sc.Name+"|dynamics")
 	}
+	if sc.Options.OpenLoop() && sc.Options.WorkloadSeed == 0 {
+		// Same contract for the open-loop workload generator: arrivals,
+		// Zipf picks and abandonment draws come from a per-scenario seed,
+		// never from scheduling order, so open-loop sweeps are
+		// byte-identical at any worker count.
+		sc.Options.WorkloadSeed = DeriveSeed(cfg.BaseSeed, sc.Name+"|workload")
+	}
 	start := time.Now()
 	var res *study.Result
 	var err error

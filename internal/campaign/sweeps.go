@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"realtracer/internal/study"
+	"realtracer/internal/workload"
 )
 
 // ReducedBase is the shrunken study every ablation sweep starts from: 14
@@ -87,6 +88,55 @@ func DynamicsSweep(base study.Options, profile string, levels []float64) []Scena
 		o.Dynamics = profile
 		o.DynamicsIntensity = k
 		out = append(out, Scenario{Name: fmt.Sprintf("%s-%gx", profile, k), Options: o})
+	}
+	return out
+}
+
+// openLoopBase prepares base for the open-loop sweep families: the
+// poisson workload unless the caller picked one, and an arrival budget
+// sized to the reduced study (twice the template pool) unless set.
+func openLoopBase(base study.Options) study.Options {
+	if !base.OpenLoop() {
+		base.Workload = "poisson"
+	}
+	return base
+}
+
+// SelectionSweep compares server-selection policies under one open-loop
+// workload: every arm shares one explicit workload seed, so the arrival,
+// popularity and abandonment draws are identical across policies and the
+// server-load balance contrast is the policy's doing alone. (Left at zero,
+// per-scenario derivation would give each arm its own arrival track and
+// confound the policy with workload variance — the same reason ablation
+// arms share one study seed.)
+func SelectionSweep(base study.Options, policies []string) []Scenario {
+	base = openLoopBase(base)
+	if base.WorkloadSeed == 0 {
+		base.WorkloadSeed = DeriveSeed(base.Seed, "selection|workload")
+	}
+	out := make([]Scenario, 0, len(policies))
+	for _, p := range policies {
+		o := base
+		o.Selection = p
+		out = append(out, Scenario{Name: "selection-" + p, Options: o})
+	}
+	return out
+}
+
+// ChurnSweep scales the open-loop arrival intensity against the classic
+// closed-loop panel as the control arm: how delivery holds up as the
+// population churns faster than the calibrated rate.
+func ChurnSweep(base study.Options, levels []float64) []Scenario {
+	closed := base
+	closed.Workload = ""
+	closed.WorkloadIntensity = 0
+	closed.Selection = ""
+	closed.Arrivals = 0
+	out := []Scenario{{Name: "churn-closed", Options: closed}}
+	for _, k := range levels {
+		o := openLoopBase(base)
+		o.WorkloadIntensity = k
+		out = append(out, Scenario{Name: fmt.Sprintf("churn-%gx", k), Options: o})
 	}
 	return out
 }
@@ -182,6 +232,20 @@ var sweeps = map[string]Sweep{
 		Description: "fault injection: diurnal cross-traffic cycles at 0.5x, 1x, 1.5x amplitude vs the static baseline",
 		Scenarios: func(base study.Options) []Scenario {
 			return DynamicsSweep(base, "diurnal", []float64{0.5, 1, 1.5})
+		},
+	},
+	"selection": {
+		Name:        "selection",
+		Description: "open-loop server selection: pinned vs rtt vs roundrobin vs leastloaded under one Poisson workload",
+		Scenarios: func(base study.Options) []Scenario {
+			return SelectionSweep(base, workload.PolicyNames())
+		},
+	},
+	"churn": {
+		Name:        "churn",
+		Description: "open-loop user churn: Poisson arrivals at 0.5x, 1x, 2x the calibrated rate vs the closed-loop panel",
+		Scenarios: func(base study.Options) []Scenario {
+			return ChurnSweep(base, []float64{0.5, 1, 2})
 		},
 	},
 }

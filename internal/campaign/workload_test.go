@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"realtracer/internal/study"
+	"realtracer/internal/trace"
+)
+
+// workloadFamilies are the open-loop sweep registry entries added with the
+// workload engine.
+var workloadFamilies = []string{"selection", "churn"}
+
+// TestWorkloadSweepsRegistered pins the registry surface: both open-loop
+// families resolve by name, the selection sweep covers every policy under
+// one shared workload seed, and the churn sweep keeps a closed-loop
+// control arm.
+func TestWorkloadSweepsRegistered(t *testing.T) {
+	sw, ok := SweepByName("selection")
+	if !ok {
+		t.Fatal("selection sweep not registered")
+	}
+	scs := sw.Scenarios(ReducedBase(0))
+	if len(scs) != 4 {
+		t.Fatalf("selection sweep has %d scenarios, want one per policy", len(scs))
+	}
+	seed := scs[0].Options.WorkloadSeed
+	if seed == 0 {
+		t.Fatal("selection sweep left WorkloadSeed to per-scenario derivation; arms would not share an arrival track")
+	}
+	for _, sc := range scs {
+		if !sc.Options.OpenLoop() {
+			t.Fatalf("selection scenario %q is not open-loop", sc.Name)
+		}
+		if sc.Options.WorkloadSeed != seed {
+			t.Fatalf("selection scenario %q has its own workload seed", sc.Name)
+		}
+	}
+
+	sw, ok = SweepByName("churn")
+	if !ok {
+		t.Fatal("churn sweep not registered")
+	}
+	scs = sw.Scenarios(ReducedBase(0))
+	if len(scs) != 4 {
+		t.Fatalf("churn sweep has %d scenarios, want closed control + 3 levels", len(scs))
+	}
+	if scs[0].Options.OpenLoop() {
+		t.Fatalf("churn first scenario %q is not the closed-loop control arm", scs[0].Name)
+	}
+	for _, sc := range scs[1:] {
+		if !sc.Options.OpenLoop() || sc.Options.WorkloadIntensity == 0 {
+			t.Fatalf("churn scenario %q misconfigured: %+v", sc.Name, sc.Options)
+		}
+	}
+}
+
+// TestWorkloadSweepsDeterministicAcrossWorkers extends the campaign
+// determinism guarantee to the open-loop families: per-scenario records —
+// including every arrival, Zipf and abandonment draw inside the workload
+// generator — must be byte-identical at workers=1 and at a full pool,
+// because the workload seed derives from the scenario name, never from the
+// worker.
+func TestWorkloadSweepsDeterministicAcrossWorkers(t *testing.T) {
+	base := study.Options{MaxUsers: 5, ClipCap: 2, Arrivals: 10}
+	var scs []Scenario
+	for _, name := range workloadFamilies {
+		sw, _ := SweepByName(name)
+		scs = append(scs, sw.Scenarios(base)...)
+	}
+
+	serialCfg := Config{BaseSeed: 9, Workers: 1}
+	parallelCfg := Config{BaseSeed: 9, Workers: runtime.NumCPU()}
+	if parallelCfg.Workers < 4 {
+		parallelCfg.Workers = 4
+	}
+	serial := Run(scs, serialCfg)
+	parallel := Run(scs, parallelCfg)
+	if err := serial.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sawOpenLoopRecord := false
+	for i := range scs {
+		s, p := serial.Results[i], parallel.Results[i]
+		if s.Scenario.Options.WorkloadSeed != p.Scenario.Options.WorkloadSeed {
+			t.Fatalf("scenario %s: workload seeds differ: %d vs %d",
+				scs[i].Name, s.Scenario.Options.WorkloadSeed, p.Scenario.Options.WorkloadSeed)
+		}
+		if scs[i].Options.OpenLoop() && s.Scenario.Options.WorkloadSeed == 0 {
+			t.Fatalf("scenario %s: workload seed never derived", scs[i].Name)
+		}
+		if !bytes.Equal(wlCSVBytes(t, s.Result), wlCSVBytes(t, p.Result)) {
+			t.Fatalf("scenario %s: records differ between workers=1 and workers=%d",
+				scs[i].Name, parallelCfg.Workers)
+		}
+		if s.Result != nil {
+			for _, r := range s.Result.Records {
+				if r.Policy != "" {
+					sawOpenLoopRecord = true
+				}
+			}
+		}
+	}
+	if !sawOpenLoopRecord {
+		t.Fatal("no open-loop record observed; the sweeps never exercised the workload engine")
+	}
+}
+
+func wlCSVBytes(t *testing.T, res *study.Result) []byte {
+	t.Helper()
+	if res == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -82,6 +82,22 @@ type Aggregates struct {
 	fpsByDynamics    stats.Grouped
 	failedByDynamics stats.Counter
 	playedByDynamics stats.Counter
+
+	// Workload breakdown by server-selection policy (Record.Policy, set
+	// only by open-loop runs): startup delay, stalls, and how plays spread
+	// across the mirror servers — the load-balance contrast between
+	// pinned, RTT, round-robin and least-loaded selection.
+	startupByPolicy stats.Grouped
+	rebufByPolicy   stats.Grouped
+	playedByPolicy  stats.Counter
+	failedByPolicy  stats.Counter
+	policyServer    stats.Counter // "policy|server" play counts
+	// concurDelta is the concurrent-clip time-series sketch: +1 at each
+	// clip's start minute, −1 at its end minute (virtual time). The
+	// prefix sum over sorted minutes is the concurrency level; memory is
+	// bounded by the run's span in minutes, and partials merge by adding
+	// deltas.
+	concurDelta map[int]int
 }
 
 // NewAggregates returns an empty aggregate build.
@@ -133,6 +149,16 @@ func (a *Aggregates) Observe(r *trace.Record) {
 	if r.Failed {
 		a.failed++
 		a.failedByDynamics.Add(dynCondition(r), 1)
+		if r.Policy != "" {
+			a.failedByPolicy.Add(r.Policy, 1)
+		}
+	}
+	if r.EndSec > r.StartSec {
+		if a.concurDelta == nil {
+			a.concurDelta = make(map[int]int)
+		}
+		a.concurDelta[int(r.StartSec/60)]++
+		a.concurDelta[int(r.EndSec/60)]--
 	}
 	if r.Unavailable || r.Failed {
 		return
@@ -166,6 +192,12 @@ func (a *Aggregates) Observe(r *trace.Record) {
 		a.fpsByPC.Add(r.PCClass, fps)
 	}
 	a.jitByBand.Add(bandwidthBand(r), jit)
+	if r.Policy != "" {
+		a.playedByPolicy.Add(r.Policy, 1)
+		a.startupByPolicy.Add(r.Policy, r.BufferingTime.Seconds())
+		a.rebufByPolicy.Add(r.Policy, float64(r.Rebuffers))
+		a.policyServer.Add(r.Policy+"|"+r.Server, 1)
+	}
 	cond := dynCondition(r)
 	a.playedByDynamics.Add(cond, 1)
 	a.rebufByDynamics.Add(cond, float64(r.Rebuffers))
@@ -241,6 +273,17 @@ func (a *Aggregates) Merge(b *Aggregates) {
 	a.fpsByDynamics.Merge(&b.fpsByDynamics)
 	a.failedByDynamics.Merge(&b.failedByDynamics)
 	a.playedByDynamics.Merge(&b.playedByDynamics)
+	a.startupByPolicy.Merge(&b.startupByPolicy)
+	a.rebufByPolicy.Merge(&b.rebufByPolicy)
+	a.playedByPolicy.Merge(&b.playedByPolicy)
+	a.failedByPolicy.Merge(&b.failedByPolicy)
+	a.policyServer.Merge(&b.policyServer)
+	for m, d := range b.concurDelta {
+		if a.concurDelta == nil {
+			a.concurDelta = make(map[int]int)
+		}
+		a.concurDelta[m] += d
+	}
 	room := ratedPairCap - len(a.ratedKbps)
 	if room > len(b.ratedKbps) {
 		room = len(b.ratedKbps)

@@ -1,0 +1,139 @@
+package figures
+
+import (
+	"testing"
+	"time"
+
+	"realtracer/internal/trace"
+)
+
+// wlRec builds one played open-loop record.
+func wlRec(policy, server string, start, end float64, startup time.Duration, rebuf int) *trace.Record {
+	return &trace.Record{
+		User: "u", Policy: policy, Server: server,
+		StartSec: start, EndSec: end,
+		BufferingTime: startup, Rebuffers: rebuf,
+		MeasuredFPS: 10,
+	}
+}
+
+// TestWorkloadBreakdown: rows appear per policy, startup/rebuffer means
+// are right, and the load-balance CV separates a one-server policy from an
+// even spread over the shared server universe.
+func TestWorkloadBreakdown(t *testing.T) {
+	a := NewAggregates()
+	// "lopsided" sends everything to s1; "even" spreads across s1..s4.
+	for i := 0; i < 8; i++ {
+		a.Observe(wlRec("lopsided", "s1", float64(i), float64(i)+1, 4*time.Second, 1))
+	}
+	for i, srv := range []string{"s1", "s2", "s3", "s4", "s1", "s2", "s3", "s4"} {
+		a.Observe(wlRec("even", srv, float64(i), float64(i)+1, 8*time.Second, 0))
+	}
+	failed := wlRec("lopsided", "s1", 20, 21, 0, 0)
+	failed.Failed = true
+	a.Observe(failed)
+
+	rows := a.Workload()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	even, lop := rows[0], rows[1]
+	if even.Policy != "even" || lop.Policy != "lopsided" {
+		t.Fatalf("rows not sorted by policy: %q, %q", rows[0].Policy, rows[1].Policy)
+	}
+	if even.Played != 8 || lop.Played != 8 || lop.Failed != 1 {
+		t.Fatalf("counts wrong: even=%+v lopsided=%+v", even, lop)
+	}
+	if even.MeanStartupSec != 8 || lop.MeanStartupSec != 4 {
+		t.Fatalf("startup means wrong: even=%g lopsided=%g", even.MeanStartupSec, lop.MeanStartupSec)
+	}
+	if lop.MeanRebuffers != 1 || even.MeanRebuffers != 0 {
+		t.Fatalf("rebuffer means wrong: even=%g lopsided=%g", even.MeanRebuffers, lop.MeanRebuffers)
+	}
+	if even.Servers != 4 || lop.Servers != 1 {
+		t.Fatalf("server counts wrong: even=%d lopsided=%d", even.Servers, lop.Servers)
+	}
+	// Over the shared 4-server universe: even spread CV 0, one-server CV √3.
+	if even.LoadBalance != 0 {
+		t.Fatalf("even spread CV = %g, want 0", even.LoadBalance)
+	}
+	if lop.LoadBalance < 1.7 || lop.LoadBalance > 1.8 {
+		t.Fatalf("lopsided CV = %g, want √3 ≈ 1.73", lop.LoadBalance)
+	}
+}
+
+// TestWorkloadEmptyForPanel: classic panel records (no policy, no span)
+// leave the breakdown empty, so the golden figures path is untouched.
+func TestWorkloadEmptyForPanel(t *testing.T) {
+	a := NewAggregates()
+	a.Observe(&trace.Record{User: "u1", MeasuredFPS: 10})
+	if rows := a.Workload(); len(rows) != 0 {
+		t.Fatalf("panel records produced %d workload rows", len(rows))
+	}
+	if m, l := a.Concurrency(); m != nil || l != nil {
+		t.Fatal("panel records without spans produced a concurrency series")
+	}
+	if peak, at := a.PeakConcurrency(); peak != 0 || at != -1 {
+		t.Fatalf("empty peak = (%d, %d)", peak, at)
+	}
+}
+
+// TestConcurrencySeries: overlapping spans produce the right step levels
+// and the peak finder reports the first maximum.
+func TestConcurrencySeries(t *testing.T) {
+	a := NewAggregates()
+	// Minutes: one clip [0,3), one [1,2), one [1,4): levels 1,3,2,1,0.
+	a.Observe(wlRec("p", "s", 0, 180, 0, 0))
+	a.Observe(wlRec("p", "s", 60, 120, 0, 0))
+	a.Observe(wlRec("p", "s", 60, 240, 0, 0))
+	minutes, level := a.Concurrency()
+	wantM := []int{0, 1, 2, 3, 4}
+	wantL := []int{1, 3, 2, 1, 0}
+	if len(minutes) != len(wantM) {
+		t.Fatalf("minutes = %v, want %v", minutes, wantM)
+	}
+	for i := range wantM {
+		if minutes[i] != wantM[i] || level[i] != wantL[i] {
+			t.Fatalf("series (%v, %v), want (%v, %v)", minutes, level, wantM, wantL)
+		}
+	}
+	if peak, at := a.PeakConcurrency(); peak != 3 || at != 1 {
+		t.Fatalf("peak = (%d, %d), want (3, 1)", peak, at)
+	}
+}
+
+// TestWorkloadMerge: merged partials equal a single-pass build — the
+// property campaign aggregation rests on.
+func TestWorkloadMerge(t *testing.T) {
+	recs := []*trace.Record{
+		wlRec("rtt", "s1", 0, 60, 2*time.Second, 0),
+		wlRec("rtt", "s2", 30, 90, 4*time.Second, 1),
+		wlRec("leastloaded", "s2", 10, 70, 6*time.Second, 2),
+		wlRec("leastloaded", "s3", 40, 100, 8*time.Second, 0),
+	}
+	whole := Aggregate(recs)
+	a, b := Aggregate(recs[:2]), Aggregate(recs[2:])
+	merged := NewAggregates()
+	merged.Merge(a)
+	merged.Merge(b)
+
+	wr, mr := whole.Workload(), merged.Workload()
+	if len(wr) != len(mr) {
+		t.Fatalf("row counts differ: %d vs %d", len(wr), len(mr))
+	}
+	for i := range wr {
+		if wr[i] != mr[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, wr[i], mr[i])
+		}
+	}
+	wm, wl := whole.Concurrency()
+	mm, ml := merged.Concurrency()
+	if len(wm) != len(mm) {
+		t.Fatal("concurrency series lengths differ after merge")
+	}
+	for i := range wm {
+		if wm[i] != mm[i] || wl[i] != ml[i] {
+			t.Fatal("concurrency series differ after merge")
+		}
+	}
+}

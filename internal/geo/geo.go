@@ -119,6 +119,19 @@ func Sites() []ServerSite {
 // PlaylistSize is the study's playlist length.
 const PlaylistSize = 98
 
+// ActiveSites filters to the sites that actually serve clips (Clips > 0):
+// the hosts the dynamics layer targets, and the mirror set the open-loop
+// selection layer replicates every clip across.
+func ActiveSites(sites []ServerSite) []ServerSite {
+	out := make([]ServerSite, 0, len(sites))
+	for _, s := range sites {
+		if s.Clips > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // User is one study participant.
 type User struct {
 	// Name is the simulator host name.

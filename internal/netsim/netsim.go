@@ -585,6 +585,29 @@ func (n *Network) deliver(pkt *Packet) {
 	n.release(pkt)
 }
 
+// Attached reports whether a host by that name is currently attached.
+// Interned-but-removed names report false.
+func (n *Network) Attached(name string) bool {
+	return n.lookup(n.ids[name]) != nil
+}
+
+// BaseRTT returns the static round-trip estimate between two hosts: both
+// ends' access base delays plus the route's propagation delay in each
+// direction. It ignores queueing, jitter and cross-traffic and draws no
+// randomness, so server-selection probes cannot perturb a run — the
+// nearest-by-RTT policy ranks mirrors with it.
+func (n *Network) BaseRTT(from, to string) time.Duration {
+	a, b := n.lookup(n.ids[from]), n.lookup(n.ids[to])
+	rtt := n.pathByName(from, to).route.OneWayDelay + n.pathByName(to, from).route.OneWayDelay
+	if a != nil {
+		rtt += 2 * a.cfg.Access.BaseDelay
+	}
+	if b != nil {
+		rtt += 2 * b.cfg.Access.BaseDelay
+	}
+	return rtt
+}
+
 // Congestion returns the current cross-traffic level on the ordered path
 // from -> to (creating path state if needed). Exposed for tests and the
 // adaptation example.

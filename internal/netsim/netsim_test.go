@@ -307,3 +307,84 @@ func TestPooledPacketRoundTrip(t *testing.T) {
 		t.Fatalf("free list has %d packets after serial round trips, want 1", len(n.free))
 	}
 }
+
+// TestRemoveHostReleasesInFlightPooled extends the churn regression to the
+// packet pool: a host torn down with pooled packets still in flight must
+// not leak them — every drop path releases back to the free-list, so the
+// PR 4 steady-state alloc budget survives user churn.
+func TestRemoveHostReleasesInFlightPooled(t *testing.T) {
+	clock, n := newNet(Route{OneWayDelay: 200 * time.Millisecond})
+	n.Register("b:1", func(*Packet) {})
+	const inFlight = 20
+	for i := 0; i < inFlight; i++ {
+		pkt := n.Obtain()
+		pkt.From, pkt.To = "a:9", "b:1"
+		pkt.Size = 500
+		n.Send(pkt)
+	}
+	// Mid-stream departure: the destination host leaves with every packet
+	// still on the wire.
+	n.RemoveHost("b")
+	clock.Run()
+	sent, delivered, dropped := n.Stats()
+	if delivered != 0 || dropped != sent {
+		t.Fatalf("conservation broken across removal: sent=%d delivered=%d dropped=%d", sent, delivered, dropped)
+	}
+	if got := len(n.free); got != inFlight {
+		t.Fatalf("free-list holds %d packets after churn, want all %d released", got, inFlight)
+	}
+	// A re-arrival under the same name starts clean and streams normally
+	// off the recycled pool — no fresh allocations needed.
+	n.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessT1LAN)})
+	got := 0
+	n.Register("b:1", func(*Packet) { got++ })
+	pkt := n.Obtain()
+	pkt.From, pkt.To = "a:9", "b:1"
+	pkt.Size = 100
+	n.Send(pkt)
+	clock.Run()
+	if got != 1 {
+		t.Fatalf("re-arrived host received %d packets, want 1", got)
+	}
+	if len(n.free) != inFlight {
+		t.Fatalf("free-list holds %d after re-arrival delivery, want %d", len(n.free), inFlight)
+	}
+}
+
+// TestAttached tracks the host lifecycle the churn layer drives.
+func TestAttached(t *testing.T) {
+	_, n := newNet(Route{})
+	if !n.Attached("a") || !n.Attached("b") {
+		t.Fatal("added hosts not attached")
+	}
+	if n.Attached("ghost") {
+		t.Fatal("unknown host attached")
+	}
+	n.RemoveHost("b")
+	if n.Attached("b") {
+		t.Fatal("removed host still attached")
+	}
+	n.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessModem)})
+	if !n.Attached("b") {
+		t.Fatal("re-added host not attached")
+	}
+}
+
+// TestBaseRTT: the probe is symmetric, includes both access base delays and
+// both directions' propagation, and draws no randomness (same value twice).
+func TestBaseRTT(t *testing.T) {
+	clock := simclock.New()
+	n := New(clock, StaticRoute(Route{OneWayDelay: 50 * time.Millisecond}), 1)
+	n.AddHost(HostConfig{Name: "a", Access: AccessProfile{BaseDelay: 10 * time.Millisecond, DownKbps: 100, UpKbps: 100}})
+	n.AddHost(HostConfig{Name: "b", Access: AccessProfile{BaseDelay: 5 * time.Millisecond, DownKbps: 100, UpKbps: 100}})
+	want := 2*50*time.Millisecond + 2*10*time.Millisecond + 2*5*time.Millisecond
+	if got := n.BaseRTT("a", "b"); got != want {
+		t.Fatalf("BaseRTT = %v, want %v", got, want)
+	}
+	if n.BaseRTT("a", "b") != n.BaseRTT("b", "a") {
+		t.Fatal("BaseRTT not symmetric")
+	}
+	if n.BaseRTT("a", "b") != n.BaseRTT("a", "b") {
+		t.Fatal("BaseRTT not deterministic")
+	}
+}

@@ -22,6 +22,7 @@ package server
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"realtracer/internal/media"
@@ -136,6 +137,46 @@ func (s *Server) Stop() {
 	for _, sess := range s.sessions {
 		sess.stop()
 	}
+}
+
+// ActiveSessions is the server's load probe: how many streaming sessions
+// are currently open. The least-loaded selection policy polls it when
+// choosing a mirror for a new clip request.
+func (s *Server) ActiveSessions() int { return len(s.sessions) }
+
+// DropClient reaps every session belonging to a client host that vanished
+// without a TEARDOWN — the open-loop churn path, where a departing user's
+// host is torn out of the network mid-stream. No RTSP message can arrive
+// from a host that no longer exists, so without this an abandoned session
+// would pace frames at a dead address forever and permanently inflate the
+// ActiveSessions load probe. Returns how many sessions were reaped.
+func (s *Server) DropClient(clientHost string) int {
+	var doomed []*streamSession
+	for _, sess := range s.sessions {
+		if addrHost(sess.spec.ClientDataAddr) == clientHost ||
+			(sess.cc != nil && addrHost(sess.cc.conn.RemoteAddr()) == clientHost) {
+			doomed = append(doomed, sess)
+		}
+	}
+	// Stable reap order: stop() can close connections (which sends), and
+	// map iteration order must not leak into the packet stream.
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].id < doomed[j].id })
+	for _, sess := range doomed {
+		sess.stop()
+		s.removeSession(sess)
+	}
+	return len(doomed)
+}
+
+// addrHost returns the host component of a "host:port" address ("" in,
+// "" out).
+func addrHost(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
 }
 
 // Counters returns (describes, unavailable, played, toredown) counts.
@@ -264,7 +305,11 @@ func (s *Server) lookupSession(req *rtsp.Message, cc *controlConn) *streamSessio
 
 func (s *Server) removeSession(sess *streamSession) {
 	delete(s.sessions, sess.id)
-	if sess.spec.ClientDataAddr != "" {
+	// Under churn a client can depart and re-arrive at the same data
+	// address while the old session is still timing out; only unmap the
+	// address if it still belongs to this session, or the stale teardown
+	// would sever the re-arrived client's demux entry.
+	if sess.spec.ClientDataAddr != "" && s.byDataAddr[sess.spec.ClientDataAddr] == sess {
 		delete(s.byDataAddr, sess.spec.ClientDataAddr)
 	}
 }

@@ -154,11 +154,10 @@ func buildDynamics(opt Options, sites []geo.ServerSite) (*netsim.Dynamics, error
 	if k == 0 {
 		k = 1
 	}
-	hosts := make([]string, 0, len(sites))
-	for _, s := range sites {
-		if s.Clips > 0 {
-			hosts = append(hosts, s.Host)
-		}
+	active := geo.ActiveSites(sites)
+	hosts := make([]string, 0, len(active))
+	for _, s := range active {
+		hosts = append(hosts, s.Host)
 	}
 	return p.Build(opt, k, hosts), nil
 }

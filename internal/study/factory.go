@@ -1,0 +1,76 @@
+package study
+
+import (
+	"math/rand"
+
+	"realtracer/internal/geo"
+	"realtracer/internal/netsim"
+	"realtracer/internal/session"
+	"realtracer/internal/trace"
+	"realtracer/internal/tracer"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// SessionFactory turns a user — a pre-scheduled panel participant or an
+// open-loop arrival — into an attached host and a configured RealTracer.
+// It is the seam the monolithic launchUsers split along: the closed panel
+// drives it once per user at build time, the workload generator drives it
+// once per arrival on the simclock. Both paths share the same attach /
+// tracer construction, so a clip played under either mode is measured
+// identically.
+type SessionFactory struct {
+	w *World
+	// dynLabel and policyLabel are the world-constant condition labels
+	// stamped on every record (stamping from one string instead of
+	// reformatting per record).
+	dynLabel    string
+	policyLabel string
+}
+
+// attach brings the user's host onto the network with its access profile.
+// Modem users draw their uplink characteristics from rng — the same draws,
+// in the same order, as the classic launchUsers body.
+func (f *SessionFactory) attach(u *geo.User, rng *rand.Rand) {
+	access := netsim.DefaultAccessProfile(u.Access)
+	if u.Access == netsim.AccessModem {
+		// 2001 modems were a spread of V.90 and V.34 hardware syncing
+		// anywhere from ~26 to ~46 Kbps depending on the line; PPP
+		// framing and compression overhead shave ~10 % off the sync
+		// rate in practice.
+		access.DownKbps = u.ModemKbps * 0.9
+		access.UpKbps = 22 + rng.Float64()*9
+	}
+	f.w.Net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
+}
+
+// observe stamps the world-constant condition labels on a record and hands
+// it to the world's sink — the default OnRecord path.
+func (f *SessionFactory) observe(rec *trace.Record) {
+	rec.Dynamics = f.dynLabel
+	rec.Policy = f.policyLabel
+	f.w.sink.Observe(rec)
+}
+
+// newTracer builds the user's RealTracer session over the given playlist.
+// selectServer, onRecord and onFinished let the open-loop path install its
+// per-clip mirror selection and session-lifecycle bookkeeping; the panel
+// passes nil selection and the plain observe/remaining pair.
+func (f *SessionFactory) newTracer(u *geo.User, rng *rand.Rand, playlist []tracer.Entry,
+	selectServer func(tracer.Entry) tracer.Entry,
+	onRecord func(*trace.Record), onFinished func()) *tracer.Tracer {
+	rater := newRater(u, rng)
+	return tracer.New(tracer.Config{
+		Clock:        vclock.Sim{C: f.w.Clock},
+		Net:          session.SimNet{Stack: transport.NewStack(f.w.Net, u.Name)},
+		User:         u,
+		Playlist:     playlist,
+		PlayFor:      f.w.Options.PlayFor,
+		Preroll:      f.w.Options.Preroll,
+		Rand:         rng,
+		Rate:         rater.rate,
+		SelectServer: selectServer,
+		OnRecord:     onRecord,
+		OnFinished:   onFinished,
+	})
+}

@@ -1,0 +1,254 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"realtracer/internal/simclock"
+	"realtracer/internal/trace"
+	"realtracer/internal/tracer"
+	"realtracer/internal/workload"
+)
+
+// openLoop is the workload generator's run state: the resolved arrival
+// spec, the selection policy, the template pool occupancy, and the session
+// accounting Run's termination condition watches.
+type openLoop struct {
+	spec   workload.Spec
+	policy workload.Policy // nil = pinned: no per-clip selection step
+	rng    *rand.Rand
+
+	arrivalsLeft int
+	active       int
+	sessions     int
+	balked       int
+	departed     int
+
+	busy   []bool // template pool occupancy, indexed like World.Users
+	cursor int    // round-robin template scan position
+
+	cands []workload.Candidate // per-pick scratch (single-threaded world)
+}
+
+// sessionClipCycle is the nominal wall time one clip occupies: playout
+// plus the inter-clip think/rating pause. Arrival-rate calibration and
+// departure deadlines are placed in units of it.
+func sessionClipCycle(opt Options) time.Duration {
+	return opt.PlayFor + 8*time.Second
+}
+
+// startWorkload resolves the options into a workload spec and selection
+// policy and schedules the first arrival. The arrival rate is calibrated
+// so steady-state expected concurrency sits at ~40% of the template pool
+// at 1x intensity: rate = 0.4·pool / E[session duration].
+func (w *World) startWorkload() error {
+	opt := w.Options
+	prof, ok := workload.ProfileByName(opt.Workload)
+	if !ok {
+		return fmt.Errorf("study: unknown workload profile %q", opt.Workload)
+	}
+	polName := opt.PolicyLabel()
+	pol, ok := workload.PolicyByName(polName)
+	if !ok {
+		return fmt.Errorf("study: unknown selection policy %q", polName)
+	}
+	if _, pinned := pol.(workload.Pinned); pinned {
+		// Pinned is the identity selection; skip the per-clip probe work.
+		pol = nil
+	}
+
+	k := opt.WorkloadIntensity
+	if k == 0 {
+		k = 1
+	}
+	pool := len(w.Users)
+	meanClips := 4.0
+	if opt.ClipCap > 0 && float64(opt.ClipCap) < meanClips {
+		meanClips = float64(opt.ClipCap)
+	}
+	sessDur := time.Duration(meanClips * float64(sessionClipCycle(opt)))
+	rate := k * 0.4 * float64(pool) / sessDur.Seconds()
+	horizon := time.Duration(float64(opt.Arrivals) / rate * float64(time.Second))
+	spec := prof.Build(rate, horizon)
+	spec.MaxClips = opt.ClipCap
+
+	seed := opt.WorkloadSeed
+	if seed == 0 {
+		seed = opt.Seed + 5
+	}
+	w.open = &openLoop{
+		spec:         spec,
+		policy:       pol,
+		rng:          rand.New(rand.NewSource(seed)),
+		arrivalsLeft: opt.Arrivals,
+		busy:         make([]bool, pool),
+	}
+	w.scheduleArrival()
+	return nil
+}
+
+// scheduleArrival draws the next inter-arrival gap and schedules the
+// arrival; the generator sustains itself one event at a time instead of
+// pre-scheduling the whole arrival train.
+func (w *World) scheduleArrival() {
+	if w.open.arrivalsLeft <= 0 {
+		return
+	}
+	gap := w.open.spec.NextGap(w.Clock.Now(), w.open.rng)
+	w.Clock.After(gap, w.arrive)
+}
+
+// arrive admits one session: pick an idle user template (round-robin scan,
+// so re-arrivals rotate through the pool), launch it, and schedule the
+// next arrival. When every template is busy the arrival balks — the open
+// population turned someone away.
+func (w *World) arrive() {
+	o := w.open
+	o.arrivalsLeft--
+	idx := -1
+	for i := 0; i < len(o.busy); i++ {
+		j := (o.cursor + i) % len(o.busy)
+		if !o.busy[j] {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		o.balked++
+	} else {
+		o.cursor = idx + 1
+		w.launchSession(idx)
+	}
+	w.scheduleArrival()
+}
+
+// openSession is one open-loop session's lifecycle state. finish and
+// depart both converge on endSession exactly once: finish is the tracer
+// walking off the end of its drawn playlist, depart is the mid-stream
+// hangup that tears the host out from under in-flight packets.
+type openSession struct {
+	w        *World
+	idx      int
+	tr       *tracer.Tracer
+	departEv *simclock.Event
+	done     bool
+	departed bool
+}
+
+// launchSession draws the session plan (clip count, Zipf clip picks,
+// abandonment) from a session RNG, attaches the template's host — a fresh
+// incarnation if this template arrived before — and starts the tracer now.
+func (w *World) launchSession(idx int) {
+	o := w.open
+	u := w.Users[idx]
+	o.busy[idx] = true
+	o.active++
+	o.sessions++
+
+	rng := rand.New(rand.NewSource(o.rng.Int63()))
+	plan := o.spec.NextPlan(rng, len(w.Playlist), sessionClipCycle(w.Options))
+	playlist := make([]tracer.Entry, len(plan.Clips))
+	for i, c := range plan.Clips {
+		playlist[i] = w.Playlist[c]
+	}
+	w.factory.attach(u, rng)
+	sess := &openSession{w: w, idx: idx}
+	sess.tr = w.factory.newTracer(u, rng, playlist, w.selectFor(u.Name), sess.onRecord, sess.finish)
+	if plan.DepartAfter > 0 {
+		sess.departEv = w.Clock.After(plan.DepartAfter, sess.depart)
+	}
+	sess.tr.Run()
+}
+
+// selectFor builds the per-clip selection hook for one session: probe
+// every mirror (static RTT estimate plus the server's live session count)
+// and re-home the entry to the policy's pick. Nil under pinned.
+func (w *World) selectFor(userName string) func(tracer.Entry) tracer.Entry {
+	o := w.open
+	if o.policy == nil {
+		return nil
+	}
+	return func(e tracer.Entry) tracer.Entry {
+		cands := o.cands[:0]
+		for i, site := range w.ActiveSites {
+			cands = append(cands, workload.Candidate{
+				Host: site.Host,
+				Home: site.Host == e.Site.Host,
+				RTT:  w.Net.BaseRTT(userName, site.Host),
+				Load: w.Servers[i].ActiveSessions(),
+			})
+		}
+		o.cands = cands // keep the grown scratch for the next pick
+		pick := o.policy.Pick(userName, cands)
+		site := w.ActiveSites[pick]
+		if site.Host == e.Site.Host {
+			return e
+		}
+		e.ControlAddr = replaceHost(e.ControlAddr, site.Host)
+		e.Site = site
+		return e
+	}
+}
+
+// replaceHost swaps the host component of a "host:port" address.
+func replaceHost(addr, host string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return host + addr[i:]
+		}
+	}
+	return host
+}
+
+// onRecord forwards a completed clip's record to the sink, unless the user
+// already hung up — an abandoned session reports nothing after departure,
+// like a real client that is simply gone.
+func (s *openSession) onRecord(rec *trace.Record) {
+	if s.departed {
+		return
+	}
+	s.w.factory.observe(rec)
+}
+
+// finish is the tracer's natural end of session.
+func (s *openSession) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	if s.departEv != nil {
+		s.departEv.Cancel()
+	}
+	s.w.endSession(s.idx)
+}
+
+// depart is the mid-stream hangup: stop the playlist walk, then tear the
+// host out of the network with the clip still streaming. In-flight packets
+// addressed to the host are dropped (and released back to the packet pool)
+// by netsim; endSession reaps the orphaned server-side session — no
+// TEARDOWN can ever arrive from a host that is gone.
+func (s *openSession) depart() {
+	if s.done {
+		return
+	}
+	s.done, s.departed = true, true
+	s.tr.Stop()
+	s.w.open.departed++
+	s.w.endSession(s.idx)
+}
+
+// endSession removes the session's host, reaps any server-side session
+// state the departed client left behind (an abandoned stream would
+// otherwise pace at the dead address forever and permanently inflate the
+// least-loaded policy's ActiveSessions probe), and frees the template for
+// the next arrival under the same name.
+func (w *World) endSession(idx int) {
+	name := w.Users[idx].Name
+	w.Net.RemoveHost(name)
+	for _, srv := range w.Servers {
+		srv.DropClient(name)
+	}
+	w.open.busy[idx] = false
+	w.open.active--
+}

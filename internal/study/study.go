@@ -9,6 +9,7 @@
 package study
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"realtracer/internal/media"
 	"realtracer/internal/ratecontrol"
 	"realtracer/internal/trace"
+	"realtracer/internal/workload"
 )
 
 // Options configure a study run. The zero value (plus a seed) reproduces
@@ -50,6 +52,30 @@ type Options struct {
 	// 0 derives Seed+4. The campaign engine derives an explicit per-scenario
 	// value so campaign results are independent of worker count.
 	DynamicsSeed int64
+	// Workload names an arrival-process profile from the open-loop
+	// catalog (internal/workload: "poisson", "diurnal", "flashcrowd").
+	// "" or "panel" keeps the paper's closed-loop panel — every user
+	// pre-scheduled at build time — byte-identical to a build without the
+	// workload layer. Any other profile switches the world to open-loop
+	// mode: sessions arrive over time, draw clips by Zipf popularity,
+	// attach their host on arrival and remove it on departure.
+	Workload string
+	// WorkloadIntensity scales the arrival rate (0 = the calibrated 1x,
+	// which targets ~40% steady-state occupancy of the template pool).
+	WorkloadIntensity float64
+	// WorkloadSeed drives the arrival, popularity and abandonment draws;
+	// 0 derives Seed+5. The campaign engine derives an explicit
+	// per-scenario value so open-loop campaign records are independent of
+	// worker count.
+	WorkloadSeed int64
+	// Arrivals bounds an open-loop run: how many sessions the workload
+	// generator admits in total (0 = twice the template pool).
+	Arrivals int
+	// Selection names the server-selection policy for open-loop runs:
+	// "pinned" (paper-faithful home site, the default), "rtt",
+	// "roundrobin" or "leastloaded". Setting it on a closed-loop run is
+	// an error — the panel always plays from the home site.
+	Selection string
 	// StaggerWindow spreads user start times (default 90 minutes). Overlap
 	// creates shared-bottleneck load at servers.
 	StaggerWindow time.Duration
@@ -72,6 +98,73 @@ func (o *Options) fill() {
 	if o.ServerUplinkKbps <= 0 {
 		o.ServerUplinkKbps = 8000
 	}
+	if o.OpenLoop() && o.Arrivals == 0 {
+		pool := o.MaxUsers
+		if pool <= 0 {
+			pool = geo.PopulationSize
+		}
+		o.Arrivals = 2 * pool
+	}
+}
+
+// OpenLoop reports whether the options select the open-loop session
+// engine. "" and "panel" are both the classic closed-loop panel.
+func (o Options) OpenLoop() bool {
+	return o.Workload != "" && o.Workload != workload.PanelName
+}
+
+// PolicyLabel is the server-selection label stamped on the run's records:
+// "" for the closed-loop panel (which has no selection step), otherwise
+// the policy name with "pinned" as the default.
+func (o Options) PolicyLabel() string {
+	if !o.OpenLoop() {
+		return ""
+	}
+	if o.Selection == "" {
+		return workload.PinnedName
+	}
+	return o.Selection
+}
+
+// validate rejects options that would silently build an empty or nonsense
+// world. It runs before fill, so zero values (which fill resolves to
+// defaults) are still fine.
+func (o Options) validate() error {
+	if o.MaxUsers < 0 {
+		return fmt.Errorf("study: MaxUsers must be >= 0, got %d", o.MaxUsers)
+	}
+	if o.ClipCap < 0 {
+		return fmt.Errorf("study: ClipCap must be >= 0, got %d", o.ClipCap)
+	}
+	if o.Arrivals < 0 {
+		return fmt.Errorf("study: Arrivals must be >= 0, got %d", o.Arrivals)
+	}
+	if o.DynamicsIntensity < 0 {
+		return fmt.Errorf("study: DynamicsIntensity must be >= 0, got %g", o.DynamicsIntensity)
+	}
+	if o.WorkloadIntensity < 0 {
+		return fmt.Errorf("study: WorkloadIntensity must be >= 0, got %g", o.WorkloadIntensity)
+	}
+	if o.CongestionScale < 0 {
+		return fmt.Errorf("study: CongestionScale must be >= 0, got %g", o.CongestionScale)
+	}
+	if !o.OpenLoop() {
+		// Every open-loop knob is meaningless on the closed panel; accept
+		// none of them silently.
+		if o.Selection != "" {
+			return fmt.Errorf("study: Selection %q needs an open-loop Workload; the panel always plays from the home site", o.Selection)
+		}
+		if o.WorkloadIntensity != 0 {
+			return fmt.Errorf("study: WorkloadIntensity %g needs an open-loop Workload", o.WorkloadIntensity)
+		}
+		if o.Arrivals != 0 {
+			return fmt.Errorf("study: Arrivals %d needs an open-loop Workload", o.Arrivals)
+		}
+		if o.WorkloadSeed != 0 {
+			return fmt.Errorf("study: WorkloadSeed %d needs an open-loop Workload", o.WorkloadSeed)
+		}
+	}
+	return nil
 }
 
 // Result is a completed study.
@@ -83,6 +176,12 @@ type Result struct {
 	SimDuration time.Duration
 	// Events is the simulator event count (diagnostics).
 	Events uint64
+	// Sessions, Balked and Departed describe an open-loop run: sessions
+	// launched, arrivals turned away because every template was busy, and
+	// sessions that hung up mid-stream. All zero for the closed panel.
+	Sessions int
+	Balked   int
+	Departed int
 }
 
 // Run executes the campaign and returns its records. It is a thin wrapper

@@ -19,9 +19,13 @@ import (
 
 // World is one fully-constructed simulated Internet: the discrete-event
 // clock, the wide-area network, the RealServers with their clip libraries,
-// the 98-entry playlist, and every user's RealTracer session already
-// scheduled across the stagger window. A World is single-use: build it with
-// NewWorld, drive it with Run.
+// and the 98-entry playlist. In the default closed-loop panel mode every
+// user's RealTracer session is already scheduled across the stagger window
+// at build time, exactly as the paper ran; in open-loop mode (see
+// Options.Workload) nothing is pre-scheduled — a workload generator admits
+// sessions over virtual time through the SessionFactory, attaching each
+// arrival's host and removing it again on departure. A World is
+// single-use: build it with NewWorld, drive it with Run.
 //
 // Each World owns a private clock and network, so independent Worlds can
 // run concurrently on separate goroutines — the property the campaign
@@ -34,12 +38,22 @@ type World struct {
 	Clock *simclock.Clock
 	// Net is the simulated wide-area network connecting servers and users.
 	Net *netsim.Network
-	// Sites and Users are the server/user geography for this world.
+	// Sites and Users are the server/user geography for this world. In
+	// open-loop mode Users is the template pool arrivals draw from, not a
+	// set of pre-scheduled participants.
 	Sites []geo.ServerSite
 	Users []*geo.User
-	// Playlist is the assembled 98-entry clip list every user walks.
+	// Playlist is the assembled 98-entry clip list. The closed panel walks
+	// it in order; open-loop sessions draw from it by Zipf popularity.
 	Playlist []tracer.Entry
+	// Servers are the running RealServers, aligned index-for-index with
+	// ActiveSites; the least-loaded selection policy probes them.
+	Servers []*server.Server
+	// ActiveSites are the sites that serve clips (the mirror set).
+	ActiveSites []geo.ServerSite
 
+	factory   *SessionFactory
+	open      *openLoop // nil in closed-loop panel mode
 	sink      trace.Sink
 	collector *trace.Collector
 	remaining int
@@ -47,10 +61,14 @@ type World struct {
 }
 
 // NewWorld builds the simulated Internet for opt: servers brought up, the
-// playlist assembled, and every user's tracer scheduled on the clock. The
-// returned World has not consumed any virtual time yet; call Run to drive
-// it to completion.
+// playlist assembled, and — in panel mode — every user's tracer scheduled
+// on the clock. In open-loop mode only the first arrival is scheduled; the
+// generator sustains itself from there. The returned World has not
+// consumed any virtual time yet; call Run to drive it to completion.
 func NewWorld(opt Options) (*World, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt.fill()
 	w := &World{
 		Options: opt,
@@ -91,36 +109,48 @@ func NewWorld(opt Options) (*World, error) {
 	if err := w.buildServers(masterRNG); err != nil {
 		return nil, err
 	}
-	w.launchUsers(masterRNG)
+	w.factory = &SessionFactory{
+		w:           w,
+		dynLabel:    opt.DynamicsLabel(),
+		policyLabel: opt.PolicyLabel(),
+	}
+	if opt.OpenLoop() {
+		if err := w.startWorkload(); err != nil {
+			return nil, err
+		}
+	} else {
+		w.launchUsers(masterRNG)
+	}
 	return w, nil
 }
 
-// buildServers brings up the RealServers and assembles the playlist.
+// buildServers brings up the RealServers and assembles the playlist. In
+// open-loop mode every server carries the full clip set (clips are
+// replicated across the mirror sites so a selection policy can re-home any
+// request); the panel keeps the paper's layout, each clip only at its home
+// site. The masterRNG draw order is identical in both modes — one Int63
+// per active site — so panel worlds stay byte-identical.
 func (w *World) buildServers(masterRNG *rand.Rand) error {
 	opt := w.Options
 	serverAccess := netsim.DefaultAccessProfile(netsim.AccessServer)
 	serverAccess.UpKbps = opt.ServerUplinkKbps
 	serverAccess.DownKbps = opt.ServerUplinkKbps
 
+	type sitePlan struct {
+		site geo.ServerSite
+		lib  *media.Library
+		seed int64
+	}
+	var plans []sitePlan
+	var allClips []*media.Clip
 	for si, site := range w.Sites {
 		if site.Clips == 0 {
 			continue
 		}
 		w.Net.AddHost(netsim.HostConfig{Name: site.Host, Access: serverAccess})
 		lib := media.GenerateLibrary(site.Host, site.Clips, opt.Seed+100+int64(si))
-		srv := server.New(server.Config{
-			Clock:          vclock.Sim{C: w.Clock},
-			Net:            session.SimNet{Stack: transport.NewStack(w.Net, site.Host)},
-			Library:        lib,
-			Rand:           rand.New(rand.NewSource(masterRNG.Int63())),
-			Unavailability: site.Unavailability,
-			SureStream:     !opt.DisableSureStream,
-			FEC:            !opt.DisableFEC,
-			NewController:  controllerFactory(opt.Controller),
-		})
-		if err := srv.Start(); err != nil {
-			return fmt.Errorf("study: start %s: %w", site.Name, err)
-		}
+		plans = append(plans, sitePlan{site: site, lib: lib, seed: masterRNG.Int63()})
+		allClips = append(allClips, lib.Clips...)
 		for _, clip := range lib.Clips {
 			w.Playlist = append(w.Playlist, tracer.Entry{
 				URL:         clip.URL,
@@ -129,56 +159,51 @@ func (w *World) buildServers(masterRNG *rand.Rand) error {
 			})
 		}
 	}
+	for _, p := range plans {
+		lib := p.lib
+		if w.Options.OpenLoop() {
+			lib = media.NewLibrary(allClips)
+		}
+		srv := server.New(server.Config{
+			Clock:          vclock.Sim{C: w.Clock},
+			Net:            session.SimNet{Stack: transport.NewStack(w.Net, p.site.Host)},
+			Library:        lib,
+			Rand:           rand.New(rand.NewSource(p.seed)),
+			Unavailability: p.site.Unavailability,
+			SureStream:     !opt.DisableSureStream,
+			FEC:            !opt.DisableFEC,
+			NewController:  controllerFactory(opt.Controller),
+		})
+		if err := srv.Start(); err != nil {
+			return fmt.Errorf("study: start %s: %w", p.site.Name, err)
+		}
+		w.Servers = append(w.Servers, srv)
+		w.ActiveSites = append(w.ActiveSites, p.site)
+	}
 	if len(w.Playlist) != geo.PlaylistSize {
 		return fmt.Errorf("study: playlist has %d entries, want %d", len(w.Playlist), geo.PlaylistSize)
 	}
 	return nil
 }
 
-// launchUsers schedules every user's RealTracer run, staggered across the
-// window.
+// launchUsers schedules the closed-loop panel: every user's RealTracer
+// run, staggered across the window — the paper's fixed 63-user campaign.
+// It is now a thin driver over the SessionFactory; the byte-identical rule
+// pins its RNG draw order (one Int63 per user, then the modem and stagger
+// draws from the user's own RNG).
 func (w *World) launchUsers(masterRNG *rand.Rand) {
 	opt := w.Options
-	// The condition label is constant for the world; stamp records from one
-	// string rather than reformatting it per record.
-	dynLabel := opt.DynamicsLabel()
 	w.remaining = len(w.Users)
 	for _, u := range w.Users {
-		u := u
 		userRNG := rand.New(rand.NewSource(masterRNG.Int63()))
-		access := netsim.DefaultAccessProfile(u.Access)
-		if u.Access == netsim.AccessModem {
-			// 2001 modems were a spread of V.90 and V.34 hardware syncing
-			// anywhere from ~26 to ~46 Kbps depending on the line; PPP
-			// framing and compression overhead shave ~10 % off the sync
-			// rate in practice.
-			access.DownKbps = u.ModemKbps * 0.9
-			access.UpKbps = 22 + userRNG.Float64()*9
-		}
-		w.Net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
-		rater := newRater(u, userRNG)
-
+		w.factory.attach(u, userRNG)
 		n := u.ClipsToPlay
 		if opt.ClipCap > 0 && n > opt.ClipCap {
 			n = opt.ClipCap
 		}
-		tr := tracer.New(tracer.Config{
-			Clock:    vclock.Sim{C: w.Clock},
-			Net:      session.SimNet{Stack: transport.NewStack(w.Net, u.Name)},
-			User:     u,
-			Playlist: w.Playlist[:n],
-			PlayFor:  opt.PlayFor,
-			Preroll:  opt.Preroll,
-			Rand:     userRNG,
-			Rate:     rater.rate,
-			OnRecord: func(rec *trace.Record) {
-				// Stamp the network-weather condition so downstream
-				// aggregation can split robustness metrics by regime.
-				rec.Dynamics = dynLabel
-				w.sink.Observe(rec)
-			},
-			OnFinished: func() { w.remaining-- },
-		})
+		tr := w.factory.newTracer(u, userRNG, w.Playlist[:n], nil,
+			w.factory.observe,
+			func() { w.remaining-- })
 		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))
 		w.Clock.At(start, tr.Run)
 	}
@@ -198,25 +223,41 @@ func (w *World) SetSink(s trace.Sink) {
 	w.collector = nil
 }
 
-// Run drives the clock until every user finishes and returns the study
-// result. Stopping on completion (rather than on queue exhaustion) keeps
-// lingering per-session timers from extending the run. A World can only be
-// run once.
+// Run drives the clock to completion and returns the study result. The
+// panel stops when every user finishes; an open-loop run stops when the
+// arrival budget is spent and the last session has departed. Stopping on
+// completion (rather than on queue exhaustion) keeps lingering per-session
+// timers from extending the run. A World can only be run once.
 func (w *World) Run() (*Result, error) {
 	if w.ran {
 		return nil, fmt.Errorf("study: world already run")
 	}
 	w.ran = true
-	for w.remaining > 0 && w.Clock.Step() {
-	}
-	if w.remaining != 0 {
-		return nil, fmt.Errorf("study: %d users never finished", w.remaining)
+	if w.open != nil {
+		o := w.open
+		for (o.arrivalsLeft > 0 || o.active > 0) && w.Clock.Step() {
+		}
+		if o.arrivalsLeft != 0 || o.active != 0 {
+			return nil, fmt.Errorf("study: open-loop run stalled with %d arrivals pending, %d sessions active",
+				o.arrivalsLeft, o.active)
+		}
+	} else {
+		for w.remaining > 0 && w.Clock.Step() {
+		}
+		if w.remaining != 0 {
+			return nil, fmt.Errorf("study: %d users never finished", w.remaining)
+		}
 	}
 	res := &Result{
 		Users:       w.Users,
 		Sites:       w.Sites,
 		SimDuration: w.Clock.Now(),
 		Events:      w.Clock.Fired(),
+	}
+	if w.open != nil {
+		res.Sessions = w.open.sessions
+		res.Balked = w.open.balked
+		res.Departed = w.open.departed
 	}
 	if w.collector != nil {
 		res.Records = w.collector.Records()

@@ -67,6 +67,16 @@ type Record struct {
 	// like "outage" or "lossburst"). Drives the per-condition robustness
 	// breakdown in figures.Aggregates.
 	Dynamics string `json:"dynamics,omitempty"`
+
+	// Policy labels the server-selection policy the clip was fetched
+	// under ("" = the closed-loop panel, which always uses the clip's
+	// home site). Drives the per-policy workload breakdown.
+	Policy string `json:"policy,omitempty"`
+	// StartSec and EndSec bracket the clip attempt in virtual time
+	// (seconds since the start of the run). The concurrent-session
+	// time-series sketch is built from these.
+	StartSec float64 `json:"start_s,omitempty"`
+	EndSec   float64 `json:"end_s,omitempty"`
 }
 
 // Header is the CSV column order.
@@ -79,6 +89,7 @@ var Header = []string{
 	"frames_played", "frames_dropped_late", "frames_dropped_cpu", "frames_lost", "frames_corrupted",
 	"rebuffers", "rebuffer_ms", "buffering_ms", "cpu_utilization", "switches",
 	"rated", "rating", "dynamics",
+	"policy", "start_s", "end_s",
 }
 
 func (r *Record) row() []string {
@@ -97,6 +108,7 @@ func (r *Record) row() []string {
 		ftoa(r.CPUUtilization), strconv.Itoa(r.Switches),
 		strconv.FormatBool(r.Rated), ftoa(r.Rating),
 		r.Dynamics,
+		r.Policy, ftoa(r.StartSec), ftoa(r.EndSec),
 	}
 }
 
@@ -127,7 +139,7 @@ func ReadCSV(r io.Reader) ([]*Record, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
-	if len(rows[0]) != len(Header) && len(rows[0]) != legacyColumns {
+	if !legalColumns(len(rows[0])) {
 		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(rows[0]), len(Header))
 	}
 	var out []*Record
@@ -141,12 +153,20 @@ func ReadCSV(r io.Reader) ([]*Record, error) {
 	return out, nil
 }
 
-// legacyColumns is the pre-dynamics column count; traces collected before
-// the dynamics column was added still read back (Dynamics defaults to "").
-const legacyColumns = 30
+// legacyColumns is the pre-dynamics column count and preWorkloadColumns
+// the pre-selection one; traces collected under either older schema still
+// read back, with the missing trailing fields left at their zero values.
+const (
+	legacyColumns      = 30
+	preWorkloadColumns = 31
+)
+
+func legalColumns(n int) bool {
+	return n == len(Header) || n == legacyColumns || n == preWorkloadColumns
+}
 
 func fromRow(row []string) (*Record, error) {
-	if len(row) != len(Header) && len(row) != legacyColumns {
+	if !legalColumns(len(row)) {
 		return nil, fmt.Errorf("want %d fields, got %d", len(Header), len(row))
 	}
 	var r Record
@@ -190,6 +210,10 @@ func fromRow(row []string) (*Record, error) {
 	r.Rated, r.Rating = atob(row[28]), atof(row[29])
 	if len(row) > legacyColumns {
 		r.Dynamics = row[30]
+	}
+	if len(row) > preWorkloadColumns {
+		r.Policy = row[31]
+		r.StartSec, r.EndSec = atof(row[32]), atof(row[33])
 	}
 	return &r, err
 }

@@ -24,6 +24,7 @@ func sample() []*Record {
 			Rebuffers: 1, RebufferTime: 4 * time.Second, BufferingTime: 9 * time.Second,
 			CPUUtilization: 0.41, Switches: 2,
 			Rated: true, Rating: 7,
+			Dynamics: "lossburst", Policy: "rtt", StartSec: 120.5, EndSec: 195.25,
 		},
 		{
 			User: "u2", Country: "Australia", Region: "Australia",
@@ -81,32 +82,37 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// TestReadCSVLegacyColumns: traces written before the dynamics column
-// still read back, with Dynamics defaulting to "".
+// TestReadCSVLegacyColumns: traces written under the older schemas — before
+// the dynamics column (30 cols) and before the workload columns (31 cols) —
+// still read back, with the missing trailing fields at their zero values.
 func TestReadCSVLegacyColumns(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteCSV(&buf, sample()[:1]); err != nil {
-		t.Fatal(err)
-	}
-	// Strip the trailing dynamics column from header and row.
-	rows, err := csv.NewReader(&buf).ReadAll()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var legacy bytes.Buffer
-	cw := csv.NewWriter(&legacy)
-	for _, row := range rows {
-		if err := cw.Write(row[:len(row)-1]); err != nil {
+	for _, width := range []int{legacyColumns, preWorkloadColumns} {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, sample()[:1]); err != nil {
 			t.Fatal(err)
 		}
-	}
-	cw.Flush()
-	got, err := ReadCSV(strings.NewReader(legacy.String()))
-	if err != nil {
-		t.Fatalf("legacy 30-column trace rejected: %v", err)
-	}
-	if len(got) != 1 || got[0].Dynamics != "" || got[0].User != "u1" {
-		t.Fatalf("legacy read wrong: %+v", got[0])
+		rows, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var legacy bytes.Buffer
+		cw := csv.NewWriter(&legacy)
+		for _, row := range rows {
+			if err := cw.Write(row[:width]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cw.Flush()
+		got, err := ReadCSV(strings.NewReader(legacy.String()))
+		if err != nil {
+			t.Fatalf("legacy %d-column trace rejected: %v", width, err)
+		}
+		if len(got) != 1 || got[0].Policy != "" || got[0].StartSec != 0 || got[0].User != "u1" {
+			t.Fatalf("legacy %d-column read wrong: %+v", width, got[0])
+		}
+		if width > legacyColumns && got[0].Dynamics == "" {
+			t.Fatalf("31-column read lost the dynamics field")
+		}
 	}
 }
 

@@ -38,6 +38,12 @@ type Config struct {
 	Preroll time.Duration
 	// Rand drives per-clip protocol fallback and the inter-clip think time.
 	Rand *rand.Rand
+	// SelectServer, when set, re-homes each playlist entry just before it
+	// plays: the open-loop world installs a server-selection policy here
+	// so a clip replicated across mirror sites is fetched from the site
+	// the policy picks (by RTT, load, or rotation). Nil plays every entry
+	// from its home site, exactly like the original tool.
+	SelectServer func(entry Entry) Entry
 	// Rate is the rating model hook: given the record of a just-played
 	// clip, return the user's 0-10 score. Called only for clips the user
 	// chooses to rate.
@@ -112,6 +118,10 @@ func (t *Tracer) next() {
 	}
 	entry := t.cfg.Playlist[t.idx]
 	t.idx++
+	if t.cfg.SelectServer != nil {
+		entry = t.cfg.SelectServer(entry)
+	}
+	started := t.cfg.Clock.Now()
 
 	p := player.New(player.Config{
 		Clock:            t.cfg.Clock,
@@ -126,6 +136,8 @@ func (t *Tracer) next() {
 		Rand:             t.cfg.Rand,
 		OnDone: func(st *player.Stats, err error) {
 			rec := t.recordFor(entry, st)
+			rec.StartSec = started.Seconds()
+			rec.EndSec = t.cfg.Clock.Now().Seconds()
 			t.maybeRate(rec)
 			if t.cfg.OnRecord != nil {
 				t.cfg.OnRecord(rec)
