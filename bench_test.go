@@ -210,6 +210,35 @@ func BenchmarkWorkloadPoisson1k(b *testing.B) {
 	b.ReportMetric(float64(sessions)/float64(b.N), "sessions/op")
 }
 
+// BenchmarkWorkloadChurn2x doubles the arrival intensity over the same
+// 200-template pool: templates balk, sessions abandon mid-stream, and the
+// pooled bundle graph is leased and recycled at twice the Poisson1k rate —
+// the stress case for the session free-list. departures/op tracks how much
+// of the churn exercised the mid-stream teardown path.
+func BenchmarkWorkloadChurn2x(b *testing.B) {
+	b.ReportAllocs()
+	var records, sessions, departed int
+	for i := 0; i < b.N; i++ {
+		agg := figures.NewAggregates()
+		res, err := core.RunStudyStream(core.StudyOptions{
+			Seed: 1, MaxUsers: 200, ClipCap: 2,
+			Workload: "poisson", Arrivals: 1000, WorkloadIntensity: 2,
+		}, agg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Total() == 0 || res.Sessions == 0 {
+			b.Fatal("no open-loop records streamed")
+		}
+		records += agg.Total()
+		sessions += res.Sessions
+		departed += res.Departed
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(sessions)/float64(b.N), "sessions/op")
+	b.ReportMetric(float64(departed)/float64(b.N), "departures/op")
+}
+
 // --- Campaign engine (internal/campaign) ---
 
 // stabilityScenarios is the 20-replica multi-seed stability campaign: the

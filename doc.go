@@ -29,7 +29,23 @@
 // draw order and FIFO tie-breaking are part of the contract, pinned by the
 // golden figures snapshot — so hot-path changes must keep output
 // byte-identical. Profile with `study -cpuprofile/-memprofile`; the perf
-// trajectory lives in BENCH_pr4.json.
+// trajectory lives in the BENCH_pr*.json files.
+//
+// The session lifecycle is pooled one level above the packet path: each
+// open-loop user template owns a session bundle — tracer, player, packet
+// arenas, transport stack, plan/playlist scratch, record storage — built on
+// the template's first arrival and leased on every arrival after it, with
+// Reset methods walking the contract down the stack (tracer, player,
+// media.FrameSource, the server's streamSession free-list, netsim's
+// recycled host slots). Reset cancels timers (generation-checked handles
+// make stale ones inert), clears storage in place, rebuilds the rest by
+// struct literal, and reseeds RNGs — a reseeded rand.Rand reproduces a
+// fresh one's draw stream, so pooling changes no record. The recycle
+// invariant: a recycled session is indistinguishable from a fresh one and
+// can never observe its predecessor's FEC window, retransmit ledger or
+// decode state. Steady-state churn costs ~410 allocations per session
+// (down from ~10,000), pinned by TestSessionChurnAllocBudget alongside the
+// transport alloc budget.
 //
 // The session engine is open-loop as well as closed: the paper's fixed
 // 63-user panel is one workload ("panel", the default) in internal/workload's

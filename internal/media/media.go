@@ -153,19 +153,40 @@ const audioPacketInterval = 250 * time.Millisecond
 
 // NewFrameSource builds a source positioned at media time zero.
 func NewFrameSource(clip *Clip, enc Encoding) *FrameSource {
-	fs := &FrameSource{
-		clip: clip,
-		enc:  enc,
-		rng:  rand.New(rand.NewSource(clip.Seed)),
-	}
-	fs.buildScenes()
+	fs := &FrameSource{}
+	fs.Reset(clip, enc)
 	return fs
 }
 
 // NewFrameSourceAt builds a source fast-forwarded to media time t — used
 // when SureStream switches encodings mid-playout.
 func NewFrameSourceAt(clip *Clip, enc Encoding, t time.Duration) *FrameSource {
-	fs := NewFrameSource(clip, enc)
+	fs := &FrameSource{}
+	fs.ResetAt(clip, enc, t)
+	return fs
+}
+
+// Reset repositions the source at media time zero for clip at enc, reusing
+// the source's RNG and scene storage. Reseeding the pooled RNG reproduces
+// exactly the draw stream a fresh source would make, so a recycled source
+// is frame-for-frame identical to a new one.
+func (fs *FrameSource) Reset(clip *Clip, enc Encoding) {
+	fs.clip, fs.enc = clip, enc
+	if fs.rng == nil {
+		fs.rng = rand.New(rand.NewSource(clip.Seed))
+	} else {
+		fs.rng.Seed(clip.Seed)
+	}
+	fs.scenes = fs.scenes[:0]
+	fs.sceneIdx, fs.videoIdx, fs.audioIdx = 0, 0, 0
+	fs.videoAt, fs.audioAt, fs.sizeCredit = 0, 0, 0
+	fs.buildScenes()
+}
+
+// ResetAt is Reset fast-forwarded to media time t — the SureStream
+// mid-playout switch on a pooled source.
+func (fs *FrameSource) ResetAt(clip *Clip, enc Encoding, t time.Duration) {
+	fs.Reset(clip, enc)
 	for {
 		f, ok := fs.Peek()
 		if !ok || f.MediaTime >= t {
@@ -173,7 +194,6 @@ func NewFrameSourceAt(clip *Clip, enc Encoding, t time.Duration) *FrameSource {
 		}
 		fs.Next()
 	}
-	return fs
 }
 
 // buildScenes lays out the clip's action profile. Genre sets the mean

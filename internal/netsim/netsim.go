@@ -222,7 +222,8 @@ type Network struct {
 	stride   int
 	overflow map[pairKey]*pathState
 
-	free []*Packet // packet free-list
+	free     []*Packet // packet free-list
+	hostFree []*host   // detached host objects recycled by AddHost
 
 	dyn *dynState // nil unless SetDynamics installed a schedule
 
@@ -303,7 +304,16 @@ func (n *Network) AddHost(cfg HostConfig) {
 	if n.hostTab[id] != nil {
 		panic("netsim: duplicate host " + cfg.Name)
 	}
-	n.hostTab[id] = &host{cfg: cfg, id: id, handlers: make(map[Addr]Handler)}
+	var h *host
+	if k := len(n.hostFree); k > 0 {
+		h = n.hostFree[k-1]
+		n.hostFree = n.hostFree[:k-1]
+		*h = host{handlers: h.handlers}
+	} else {
+		h = &host{handlers: make(map[Addr]Handler)}
+	}
+	h.cfg, h.id = cfg, id
+	n.hostTab[id] = h
 }
 
 // RemoveHost detaches a host and all its handlers, and purges every piece of
@@ -315,7 +325,10 @@ func (n *Network) RemoveHost(name string) {
 	if !ok || n.hostTab[id] == nil {
 		return
 	}
+	h := n.hostTab[id]
 	n.hostTab[id] = nil
+	clear(h.handlers)
+	n.hostFree = append(n.hostFree, h)
 	if n.grid != nil {
 		if int(id) <= n.stride {
 			row := (int(id) - 1) * n.stride

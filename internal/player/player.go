@@ -83,8 +83,15 @@ type Config struct {
 	DisableScalableVideo bool
 	// Rand drives decode-time noise; a default source is used when nil.
 	Rand *rand.Rand
+	// Arena backs the packets the player sends and the Data cells FEC
+	// reconstruction mints. When nil the player owns one internally. A
+	// caller that pools players across clips passes the arena explicitly
+	// and resets it only when no packet from a previous clip can still be
+	// referenced (see rdt.Arena).
+	Arena *rdt.Arena
 	// OnDone receives the final statistics (always non-nil) and an error
-	// for sessions that failed outright.
+	// for sessions that failed outright. The *Stats is owned by the player
+	// and reused on Reset: consumers must copy what they keep.
 	OnDone func(*Stats, error)
 }
 
@@ -156,15 +163,29 @@ type Player struct {
 	playStart  time.Duration // wall time playout began
 	mediaBase  time.Duration // playout offset: wall = mediaBase + mediaTime
 	playPos    time.Duration // media position played so far
-	endAt      vclock.Timer
-	frameTimer vclock.Timer
-	graceTimer vclock.Timer
-	idle       vclock.Timer
-	reportTick vclock.Timer
+	endAt      vclock.Handle
+	frameTimer vclock.Handle
+	graceTimer vclock.Handle
+	idle       vclock.Handle
+	reportTick vclock.Handle
 
-	// Receive path.
+	// epoch guards the dial callbacks: Reset and Abort bump it, so a
+	// handshake completing after the player moved on to another session
+	// cannot install its connection into the recycled player.
+	epoch uint32
+
+	// arena backs sent packets (reports, buffer state, NACKs) and FEC-
+	// reconstructed Data cells. ownArena is the lazily-created fallback
+	// when the Config does not supply one.
+	arena    *rdt.Arena
+	ownArena *rdt.Arena
+
+	// Receive path. partials is a small linear-scan set: at most a handful
+	// of frames are mid-assembly at once (streams interleave, fragments of
+	// one frame arrive back to back), so a slice beats a map and its per-
+	// entry allocations.
 	frames   frameHeap // assembled, not yet played
-	partials map[uint64]*partial
+	partials []partial
 
 	// GOP decode-chain state (see trackDecodeChain).
 	nextVideoIdx uint32
@@ -195,7 +216,8 @@ type Player struct {
 	// NACK state: outstanding sequence gaps and how many times each has
 	// been requested (up to nackMaxTries, like RDT's bounded NAKs).
 	nackOutstanding map[uint32]int
-	nackTimer       vclock.Timer
+	nackTimer       vclock.Handle
+	nackScratch     []uint32 // reused per-flush missing list
 
 	// Playout record.
 	playTimes []time.Duration // wall timestamps of played video frames
@@ -220,18 +242,80 @@ type Player struct {
 	// and one standing timer re-checks it when it expires.
 	idleDeadline time.Duration
 
-	// Timer callbacks bound once, so the per-frame/per-report/per-NACK
-	// re-arms do not allocate method-value closures.
-	idleCheckFn  func()
-	flushNacksFn func()
-	sendReportFn func()
-	frameFireFn  func()
-	underrunFn   func()
-	timeUpFn     func()
+	// stats is the backing storage st points at, reused across Reset so a
+	// pooled player's per-clip record costs no allocation.
+	stats Stats
+
+	// gapScratch is reused by the jitter computation.
+	gapScratch []float64
 }
+
+// The six timer handlers are the Player itself under distinct named types:
+// converting *Player to e.g. *idleArm is free and pointer-shaped, so arming
+// a timer boxes no value and allocates nothing — the PR 4 EventHandler
+// pattern, extended through vclock so the same code runs live.
+type (
+	idleArm     Player
+	nackArm     Player
+	reportArm   Player
+	frameArm    Player
+	underrunArm Player
+	timeUpArm   Player
+)
+
+func (x *idleArm) Fire(time.Duration)      { (*Player)(x).idleCheck() }
+func (x *nackArm) Fire(time.Duration)      { (*Player)(x).flushNacks() }
+func (x *reportArm) Fire(time.Duration)    { (*Player)(x).sendReport() }
+func (x *frameArm) Fire(now time.Duration) { (*Player)(x).playFrame(now) }
+func (x *underrunArm) Fire(time.Duration)  { (*Player)(x).underrun() }
+func (x *timeUpArm) Fire(time.Duration)    { (*Player)(x).timeUp() }
 
 // New builds a Player; Start launches it.
 func New(cfg Config) *Player {
+	p := &Player{
+		pending:         make(map[int]func(*rtsp.Message)),
+		haveSeq:         make(map[uint32]*rdt.Data),
+		nackOutstanding: make(map[uint32]int),
+	}
+	p.init(cfg)
+	return p
+}
+
+// Reset rewires a finished player for a new session, reusing every piece of
+// grown storage: the maps keep their buckets, the frame heap, partial set,
+// playout record and scratch slices keep their backing arrays, and the
+// Stats record is cleared in place. Stale state cannot leak across the
+// reset: timers are cancelled (and generation checks make any already-
+// recycled handle inert), the epoch bump disarms in-flight dial callbacks,
+// and every other field is rebuilt through the struct literal, so a
+// recycled player can never observe its predecessor's FEC window, NACK
+// ledger or decode-chain state. The caller must not Reset a player whose
+// session is still live — finish or Abort it first.
+func (p *Player) Reset(cfg Config) {
+	p.cancelTimers()
+	clear(p.pending)
+	clear(p.haveSeq)
+	clear(p.nackOutstanding)
+	gaps := p.stats.PlayoutGaps[:0]
+	timeline := p.stats.Timeline[:0]
+	*p = Player{
+		epoch:           p.epoch + 1,
+		pending:         p.pending,
+		haveSeq:         p.haveSeq,
+		nackOutstanding: p.nackOutstanding,
+		partials:        p.partials[:0],
+		frames:          p.frames[:0],
+		playTimes:       p.playTimes[:0],
+		lowSeqs:         p.lowSeqs[:0],
+		nackScratch:     p.nackScratch[:0],
+		gapScratch:      p.gapScratch[:0],
+		ownArena:        p.ownArena,
+	}
+	p.stats = Stats{PlayoutGaps: gaps, Timeline: timeline}
+	p.init(cfg)
+}
+
+func (p *Player) init(cfg Config) {
 	if cfg.PlayFor <= 0 {
 		cfg.PlayFor = DefaultPlayFor
 	}
@@ -244,31 +328,65 @@ func New(cfg Config) *Player {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.New(rand.NewSource(1))
 	}
-	p := &Player{
-		cfg:             cfg,
-		st:              &Stats{URL: cfg.URL, Server: cfg.ControlAddr, Protocol: cfg.Protocol},
-		pending:         make(map[int]func(*rtsp.Message)),
-		partials:        make(map[uint64]*partial),
-		haveSeq:         make(map[uint32]*rdt.Data),
-		nackOutstanding: make(map[uint32]int),
-		state:           "setup",
+	p.cfg = cfg
+	p.state = "setup"
+	p.stats.URL, p.stats.Server, p.stats.Protocol = cfg.URL, cfg.ControlAddr, cfg.Protocol
+	p.st = &p.stats
+	p.arena = cfg.Arena
+	if p.arena == nil {
+		if p.ownArena == nil {
+			p.ownArena = &rdt.Arena{}
+		}
+		p.arena = p.ownArena
 	}
-	p.idleCheckFn = p.idleCheck
-	p.flushNacksFn = p.flushNacks
-	p.sendReportFn = p.sendReport
-	p.underrunFn = p.underrun
-	p.timeUpFn = p.timeUp
-	p.frameFireFn = func() {
-		p.frameTimer = nil
-		p.playFrame(p.cfg.Clock.Now())
+}
+
+// cancelTimers disarms every pending callback. Generation checks in the
+// simulator make this safe against handles that already fired or whose
+// events were recycled.
+func (p *Player) cancelTimers() {
+	p.endAt.Cancel()
+	p.frameTimer.Cancel()
+	p.graceTimer.Cancel()
+	p.idle.Cancel()
+	p.reportTick.Cancel()
+	p.nackTimer.Cancel()
+}
+
+// Abort hard-stops the session without the polite TEARDOWN and without
+// invoking OnDone — the open-loop departure path, where the user's host has
+// already been torn out of the network (anything the close below tries to
+// send is dropped at the source). After Abort the player is quiescent and
+// safe to Reset.
+func (p *Player) Abort() {
+	p.epoch++ // disarm in-flight dial callbacks
+	p.cancelTimers()
+	if p.doneCalled {
+		return
 	}
-	return p
+	p.doneCalled = true
+	p.state = "done"
+	if p.ctl != nil {
+		p.ctl.Close()
+	}
+	if p.data != nil && p.dataIsMe {
+		p.data.Close()
+	}
 }
 
 // Start begins the session: dial control, DESCRIBE, SETUP, PLAY.
 func (p *Player) Start() {
 	p.touchIdle()
+	epoch := p.epoch
 	p.cfg.Net.DialTCP(p.cfg.ControlAddr, func(c transport.Conn, err error) {
+		if p.epoch != epoch {
+			// The player was recycled while the handshake was in flight; the
+			// connection (if any) belongs to nobody.
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
 		if err != nil {
 			p.finish(fmt.Errorf("player: control dial: %w", err))
 			return
@@ -366,7 +484,14 @@ func (p *Player) setup() {
 			return
 		}
 		if p.cfg.Protocol == transport.TCP {
+			epoch := p.epoch
 			p.cfg.Net.DialTCP(srvSpec.ServerDataAddr, func(c transport.Conn, err error) {
+				if p.epoch != epoch {
+					if c != nil {
+						c.Close()
+					}
+					return
+				}
 				if err != nil {
 					p.finish(err)
 					return
@@ -394,8 +519,8 @@ func (p *Player) play() {
 		}
 		p.state = "buffering"
 		p.buffStart = p.cfg.Clock.Now()
-		p.endAt = p.cfg.Clock.After(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, p.timeUpFn)
-		p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReportFn)
+		p.endAt = p.cfg.Clock.AfterHandler(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, (*timeUpArm)(p))
+		p.reportTick = p.cfg.Clock.AfterHandler(reportInterval, (*reportArm)(p))
 	})
 }
 
@@ -411,6 +536,7 @@ func hostOf(addr string) string {
 // --- receive path ---
 
 type partial struct {
+	key       uint64 // stream<<32 | frame index
 	mediaTime time.Duration
 	video     bool
 	keyframe  bool
@@ -539,18 +665,17 @@ const (
 )
 
 func (p *Player) armNack() {
-	if p.nackTimer != nil {
+	if p.nackTimer.Armed() {
 		return
 	}
-	p.nackTimer = p.cfg.Clock.After(nackDelay, p.flushNacksFn)
+	p.nackTimer = p.cfg.Clock.AfterHandler(nackDelay, (*nackArm)(p))
 }
 
 func (p *Player) flushNacks() {
-	p.nackTimer = nil
 	if p.state == "done" || p.data == nil {
 		return
 	}
-	var missing []uint32
+	missing := p.nackScratch[:0]
 	for seq, tries := range p.nackOutstanding {
 		if _, arrived := p.haveSeq[seq]; arrived || tries >= nackMaxTries {
 			delete(p.nackOutstanding, seq)
@@ -559,23 +684,30 @@ func (p *Player) flushNacks() {
 		p.nackOutstanding[seq] = tries + 1
 		missing = append(missing, seq)
 	}
+	p.nackScratch = missing[:0]
 	if len(missing) == 0 {
 		return
 	}
-	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	// Insertion sort: missing lists are short, and a named sort (unlike
+	// sort.Slice) costs no closure.
+	for i := 1; i < len(missing); i++ {
+		for j := i; j > 0 && missing[j-1] > missing[j]; j-- {
+			missing[j-1], missing[j] = missing[j], missing[j-1]
+		}
+	}
 	for off := 0; off < len(missing); off += rdt.MaxNackSeqs {
 		end := off + rdt.MaxNackSeqs
 		if end > len(missing) {
 			end = len(missing)
 		}
-		pkt := &rdt.Packet{Kind: rdt.TypeNack, Nack: &rdt.Nack{
-			Stream: rdt.StreamVideo,
-			Seqs:   append([]uint32(nil), missing[off:end]...),
-		}}
+		pkt := p.arena.Nack()
+		nk := pkt.Nack
+		nk.Stream = rdt.StreamVideo
+		nk.Seqs = append(nk.Seqs, missing[off:end]...)
 		p.data.Send(pkt, rdt.WireSize(pkt))
 	}
 	// Retry unanswered requests.
-	p.nackTimer = p.cfg.Clock.After(nackRetry, p.flushNacksFn)
+	p.nackTimer = p.cfg.Clock.AfterHandler(nackRetry, (*nackArm)(p))
 }
 
 // gcSeqs bounds the FEC window memory. Seqs arrive (nearly) monotonically,
@@ -606,23 +738,45 @@ func (p *Player) gcSeqs() {
 }
 
 func (p *Player) assemble(d *rdt.Data) {
-	key := uint64(d.Stream)<<32 | uint64(d.FrameIndex)
 	fc := d.FragCount
 	if fc == 0 {
 		fc = 1
 	}
-	pt, ok := p.partials[key]
-	if !ok {
-		pt = &partial{
+	if fc == 1 {
+		// Single-fragment frame — the overwhelmingly common case: enqueue
+		// directly, no assembly state needed.
+		p.enqueueFrame(bufFrame{
+			mediaTime: time.Duration(d.MediaTime) * time.Millisecond,
+			arrived:   p.cfg.Clock.Now(),
+			video:     d.Stream == rdt.StreamVideo,
+			keyframe:  d.Flags&rdt.FlagKeyframe != 0,
+			encRate:   float64(d.EncRate),
+			index:     d.FrameIndex,
+			size:      d.PayloadLen(),
+		})
+		return
+	}
+	key := uint64(d.Stream)<<32 | uint64(d.FrameIndex)
+	pi := -1
+	for i := range p.partials {
+		if p.partials[i].key == key {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		p.partials = append(p.partials, partial{
+			key:       key,
 			mediaTime: time.Duration(d.MediaTime) * time.Millisecond,
 			video:     d.Stream == rdt.StreamVideo,
 			keyframe:  d.Flags&rdt.FlagKeyframe != 0,
 			encRate:   float64(d.EncRate),
 			index:     d.FrameIndex,
 			count:     fc,
-		}
-		p.partials[key] = pt
+		})
+		pi = len(p.partials) - 1
 	}
+	pt := &p.partials[pi]
 	bit := uint16(1) << d.FragIndex
 	if pt.got&bit != 0 {
 		return // duplicate fragment
@@ -631,15 +785,19 @@ func (p *Player) assemble(d *rdt.Data) {
 	pt.need++
 	pt.size += d.PayloadLen()
 	if pt.need >= pt.count {
-		delete(p.partials, key)
+		done := *pt
+		// Swap-remove: assembly order does not depend on set order.
+		last := len(p.partials) - 1
+		p.partials[pi] = p.partials[last]
+		p.partials = p.partials[:last]
 		p.enqueueFrame(bufFrame{
-			mediaTime: pt.mediaTime,
+			mediaTime: done.mediaTime,
 			arrived:   p.cfg.Clock.Now(),
-			video:     pt.video,
-			keyframe:  pt.keyframe,
-			encRate:   pt.encRate,
-			index:     pt.index,
-			size:      pt.size,
+			video:     done.video,
+			keyframe:  done.keyframe,
+			encRate:   done.encRate,
+			index:     done.index,
+			size:      done.size,
 		})
 	}
 }
@@ -669,7 +827,7 @@ func (p *Player) enqueueFrame(f bufFrame) {
 		return
 	}
 	p.frames.push(f)
-	if p.state == "playing" && p.frameTimer == nil {
+	if p.state == "playing" && !p.frameTimer.Armed() {
 		// The playout engine was waiting for data (underrun grace period);
 		// new media restarts it.
 		p.scheduleNextFrame()
@@ -686,31 +844,33 @@ func (p *Player) onRepair(r *rdt.Repair) {
 	if r.Stream != rdt.StreamVideo {
 		return
 	}
-	var missing []uint32
-	for seq := r.BaseSeq; seq < r.BaseSeq+uint32(r.Group); seq++ {
-		if _, ok := p.haveSeq[seq]; !ok {
-			missing = append(missing, seq)
+	var seq uint32
+	nMissing := 0
+	for s := r.BaseSeq; s < r.BaseSeq+uint32(r.Group); s++ {
+		if _, ok := p.haveSeq[s]; !ok {
+			seq = s
+			if nMissing++; nMissing > 1 {
+				return // >1 missing: unrecoverable by XOR
+			}
 		}
 	}
-	if len(missing) != 1 {
-		return // zero missing: nothing to do; >1: unrecoverable by XOR
+	if nMissing == 0 {
+		return // nothing to do
 	}
-	seq := missing[0]
 	m, ok := r.MetaFor(seq)
 	if !ok {
 		return
 	}
-	rec := &rdt.Data{
-		Stream:     rdt.StreamVideo,
-		Seq:        seq,
-		MediaTime:  m.MediaTime,
-		Flags:      m.Flags,
-		EncRate:    m.EncRate,
-		FrameIndex: m.FrameIndex,
-		FragIndex:  m.FragIndex,
-		FragCount:  m.FragCount,
-		PadLen:     int(m.Size),
-	}
+	rec := p.arena.NewData()
+	rec.Stream = rdt.StreamVideo
+	rec.Seq = seq
+	rec.MediaTime = m.MediaTime
+	rec.Flags = m.Flags
+	rec.EncRate = m.EncRate
+	rec.FrameIndex = m.FrameIndex
+	rec.FragIndex = m.FragIndex
+	rec.FragCount = m.FragCount
+	rec.PadLen = int(m.Size)
 	p.recovered++
 	p.onDataPacket(rec)
 }
@@ -751,10 +911,8 @@ func (p *Player) beginPlayout(now time.Duration) {
 	}
 	p.mediaBase = now - p.playPos
 	// Re-arm the session end for the configured playout length.
-	if p.endAt != nil {
-		p.endAt.Cancel()
-	}
-	p.endAt = p.cfg.Clock.After(p.cfg.PlayFor, p.timeUpFn)
+	p.endAt.Cancel()
+	p.endAt = p.cfg.Clock.AfterHandler(p.cfg.PlayFor, (*timeUpArm)(p))
 	p.scheduleNextFrame()
 }
 
@@ -768,10 +926,7 @@ func (p *Player) resumePlayout(now time.Duration) {
 }
 
 func (p *Player) scheduleNextFrame() {
-	if p.frameTimer != nil {
-		p.frameTimer.Cancel()
-		p.frameTimer = nil
-	}
+	p.frameTimer.Cancel()
 	if p.state != "playing" {
 		return
 	}
@@ -784,15 +939,12 @@ func (p *Player) scheduleNextFrame() {
 		// Nothing to play. Wait briefly for the next frame (it may merely
 		// be late); only a sustained drought is an underrun that halts
 		// playback for rebuffering.
-		if p.graceTimer == nil {
-			p.graceTimer = p.cfg.Clock.After(underrunGrace, p.underrunFn)
+		if !p.graceTimer.Armed() {
+			p.graceTimer = p.cfg.Clock.AfterHandler(underrunGrace, (*underrunArm)(p))
 		}
 		return
 	}
-	if p.graceTimer != nil {
-		p.graceTimer.Cancel()
-		p.graceTimer = nil
-	}
+	p.graceTimer.Cancel()
 	// A frame plays at its scheduled time, but never before it has aged
 	// recoveryLag: on a starved path this turns playout arrival-paced
 	// (steady-slow) while leaving room for loss recoveries to land.
@@ -804,13 +956,12 @@ func (p *Player) scheduleNextFrame() {
 		p.playFrame(now)
 		return
 	}
-	p.frameTimer = p.cfg.Clock.After(due-now, p.frameFireFn)
+	p.frameTimer = p.cfg.Clock.AfterHandler(due-now, (*frameArm)(p))
 }
 
 // underrun fires when the buffer stayed empty through the grace window:
 // playback halts while the buffer refills (up to 20 s — Section II.B).
 func (p *Player) underrun() {
-	p.graceTimer = nil
 	if p.state != "playing" || len(p.frames) > 0 {
 		return
 	}
@@ -943,7 +1094,7 @@ func (p *Player) sendReport() {
 	if p.state == "done" {
 		return
 	}
-	p.reportTick = p.cfg.Clock.After(reportInterval, p.sendReportFn)
+	p.reportTick = p.cfg.Clock.AfterHandler(reportInterval, (*reportArm)(p))
 	// Timeline sample (Figure 1): bandwidth and frame rate this second.
 	p.st.Timeline = append(p.st.Timeline, TimePoint{
 		T:    p.cfg.Clock.Now(),
@@ -972,19 +1123,21 @@ func (p *Player) sendReport() {
 	if p.ctl != nil && p.ctl.RTT() > 0 {
 		rttMs = uint16(p.ctl.RTT().Milliseconds())
 	}
-	rep := &rdt.Packet{Kind: rdt.TypeReport, Report: &rdt.Report{
+	rep := p.arena.Report()
+	*rep.Report = rdt.Report{
 		Expected: uint32(intExpected),
 		Lost:     uint32(intLost),
 		RateKbps: clampU16(rate),
 		JitterMs: clampU16(p.currentJitterMs()),
 		BufferMs: clampU16(p.bufferDepth().Seconds() * 1000),
 		RTTMs:    rttMs,
-	}}
+	}
 	p.data.Send(rep, rdt.WireSize(rep))
-	bs := &rdt.Packet{Kind: rdt.TypeBufferState, BufferState: &rdt.BufferState{
+	bs := p.arena.BufferState()
+	*bs.BufferState = rdt.BufferState{
 		Ms:     uint32(p.bufferDepth().Milliseconds()),
 		Target: uint32(p.cfg.Preroll.Milliseconds()),
-	}}
+	}
 	p.data.Send(bs, rdt.WireSize(bs))
 }
 
@@ -1016,7 +1169,21 @@ func (p *Player) currentJitterMs() float64 {
 	if n > 40 {
 		window = p.playTimes[n-40:]
 	}
-	return jitterOf(window)
+	return p.jitterInto(window)
+}
+
+// jitterInto is jitterOf on the player's reused gap scratch — the per-
+// report jitter computation allocates nothing once the scratch has grown.
+func (p *Player) jitterInto(times []time.Duration) float64 {
+	if len(times) < 3 {
+		return 0
+	}
+	gaps := p.gapScratch[:0]
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, float64((times[i]-times[i-1]).Microseconds())/1000)
+	}
+	p.gapScratch = gaps[:0]
+	return stats.StdDev(gaps)
 }
 
 // jitterOf computes the standard deviation of inter-frame playout gaps in
@@ -1038,15 +1205,12 @@ func (p *Player) timeUp() { p.finish(nil) }
 
 func (p *Player) touchIdle() {
 	if p.state == "done" {
-		if p.idle != nil {
-			p.idle.Cancel()
-			p.idle = nil
-		}
+		p.idle.Cancel()
 		return
 	}
 	p.idleDeadline = p.cfg.Clock.Now() + idleTimeout
-	if p.idle == nil {
-		p.idle = p.cfg.Clock.After(idleTimeout, p.idleCheckFn)
+	if !p.idle.Armed() {
+		p.idle = p.cfg.Clock.AfterHandler(idleTimeout, (*idleArm)(p))
 	}
 }
 
@@ -1055,7 +1219,6 @@ func (p *Player) touchIdle() {
 // otherwise the session has truly been idle for idleTimeout and ends — the
 // same instant the old per-packet re-armed timer would have fired.
 func (p *Player) idleCheck() {
-	p.idle = nil
 	if p.state == "done" {
 		return
 	}
@@ -1064,7 +1227,7 @@ func (p *Player) idleCheck() {
 		p.finish(errors.New("player: session idle timeout"))
 		return
 	}
-	p.idle = p.cfg.Clock.After(p.idleDeadline-now, p.idleCheckFn)
+	p.idle = p.cfg.Clock.AfterHandler(p.idleDeadline-now, (*idleArm)(p))
 }
 
 func (p *Player) finish(err error) {
@@ -1081,11 +1244,7 @@ func (p *Player) finish(err error) {
 		p.st.RebufferTime += now - p.rebufStart
 	}
 
-	for _, t := range []vclock.Timer{p.endAt, p.frameTimer, p.graceTimer, p.idle, p.reportTick, p.nackTimer} {
-		if t != nil {
-			t.Cancel()
-		}
-	}
+	p.cancelTimers()
 	// Polite teardown when the control channel is up.
 	if p.ctl != nil {
 		req := rtsp.NewRequest(rtsp.MethodTeardown, p.cfg.URL, 0)
@@ -1120,7 +1279,7 @@ func (p *Player) finalizeStats(now time.Duration, err error) {
 	if p.lastRecvAt > p.firstRecvAt {
 		st.MeasuredKbps = float64(p.bytesRecv) * 8 / 1000 / (p.lastRecvAt - p.firstRecvAt).Seconds()
 	}
-	st.JitterMs = jitterOf(p.playTimes)
+	st.JitterMs = p.jitterInto(p.playTimes)
 	for i := 1; i < len(p.playTimes); i++ {
 		if gap := p.playTimes[i] - p.playTimes[i-1]; gap > 500*time.Millisecond {
 			st.PlayoutGaps = append(st.PlayoutGaps, float64(gap.Milliseconds()))

@@ -1,0 +1,148 @@
+package rdt
+
+// Arena is a per-session slab allocator for the packet structs both ends of
+// a connection mint on the hot path: media Data and its Packet wrapper,
+// receiver Reports, BufferState updates, NACKs, FEC Repair packets and the
+// end-of-stream marker. Cells are carved from chunked backing arrays and
+// never freed individually; Reset rewinds the cursor and reuses the chunks,
+// so a session that is recycled through a pool stops allocating once its
+// arena has grown to the session's working set.
+//
+// The safety contract is the pool's, not the arena's: Reset may only run
+// when no live reference into the arena remains. In the simulator that
+// point is session recycle time — the host has been removed from the
+// network (in-flight packets to or from it are dropped unread) and the
+// peer's sessions have been reaped, so nothing can still dereference a
+// cell. Within a session, cells handed to the network stay valid until
+// Reset precisely because the arena never recycles them individually.
+//
+// An Arena is single-threaded, like everything else behind one simulated
+// clock. The zero Arena is ready to use.
+type Arena struct {
+	packets slab[Packet]
+	datas   slab[Data]
+	reports slab[Report]
+	bufs    slab[BufferState]
+	eoss    slab[EndOfStream]
+	nacks   slab[nackCell]
+	repairs slab[repairCell]
+}
+
+// arenaChunk is the number of cells per backing chunk.
+const arenaChunk = 64
+
+// repairMetaCap bounds one repair cell's embedded metadata array. FEC
+// groups are small (the server uses 8); the embedded array keeps Meta
+// allocation-free for any group up to this size.
+const repairMetaCap = 16
+
+type nackCell struct {
+	n    Nack
+	seqs [MaxNackSeqs]uint32
+}
+
+type repairCell struct {
+	r    Repair
+	meta [repairMetaCap]RepairMeta
+}
+
+type slab[T any] struct {
+	chunks  [][]T
+	ci, off int
+}
+
+func (s *slab[T]) get() *T {
+	if s.ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, arenaChunk))
+	}
+	c := s.chunks[s.ci]
+	p := &c[s.off]
+	if s.off++; s.off == len(c) {
+		s.ci, s.off = s.ci+1, 0
+	}
+	var zero T
+	*p = zero
+	return p
+}
+
+func (s *slab[T]) reset() { s.ci, s.off = 0, 0 }
+
+// Data returns a zeroed media packet: the Packet wrapper and its Data both
+// live in the arena.
+func (a *Arena) Data() *Packet {
+	p := a.packets.get()
+	p.Kind = TypeData
+	p.Data = a.datas.get()
+	return p
+}
+
+// Wrap returns an arena Packet around an existing Data — the retransmit
+// path, which re-sends a Data still owned by the sender's window.
+func (a *Arena) Wrap(d *Data) *Packet {
+	p := a.packets.get()
+	p.Kind = TypeData
+	p.Data = d
+	return p
+}
+
+// NewData returns a bare zeroed Data cell (no Packet wrapper) — FEC
+// reconstruction mints these on the receive side.
+func (a *Arena) NewData() *Data { return a.datas.get() }
+
+// Report returns a zeroed receiver-report packet.
+func (a *Arena) Report() *Packet {
+	p := a.packets.get()
+	p.Kind = TypeReport
+	p.Report = a.reports.get()
+	return p
+}
+
+// BufferState returns a zeroed buffer-state packet.
+func (a *Arena) BufferState() *Packet {
+	p := a.packets.get()
+	p.Kind = TypeBufferState
+	p.BufferState = a.bufs.get()
+	return p
+}
+
+// EOS returns a zeroed end-of-stream packet.
+func (a *Arena) EOS() *Packet {
+	p := a.packets.get()
+	p.Kind = TypeEndOfStream
+	p.EOS = a.eoss.get()
+	return p
+}
+
+// Nack returns a zeroed NACK packet whose Seqs slice is backed by the
+// cell's embedded array: empty, with capacity MaxNackSeqs.
+func (a *Arena) Nack() *Packet {
+	p := a.packets.get()
+	cell := a.nacks.get()
+	cell.n.Seqs = cell.seqs[:0]
+	p.Kind = TypeNack
+	p.Nack = &cell.n
+	return p
+}
+
+// Repair returns a zeroed FEC repair packet whose Meta slice is backed by
+// the cell's embedded array: empty, with capacity repairMetaCap.
+func (a *Arena) Repair() *Packet {
+	p := a.packets.get()
+	cell := a.repairs.get()
+	cell.r.Meta = cell.meta[:0]
+	p.Kind = TypeRepair
+	p.Repair = &cell.r
+	return p
+}
+
+// Reset rewinds every slab for reuse. See the type comment for when this
+// is safe to call.
+func (a *Arena) Reset() {
+	a.packets.reset()
+	a.datas.reset()
+	a.reports.reset()
+	a.bufs.reset()
+	a.eoss.reset()
+	a.nacks.reset()
+	a.repairs.reset()
+}

@@ -89,6 +89,11 @@ type Server struct {
 	stops      []func()
 	nextID     int
 
+	// sessFree recycles streamSession objects: removeSession pushes,
+	// newStreamSession pops. A recycled session keeps its map storage, FEC
+	// scratch and packet arena so steady-state churn stops allocating.
+	sessFree []*streamSession
+
 	// Counters for Figure 10 and diagnostics.
 	describes   uint64
 	unavailable uint64
@@ -157,6 +162,12 @@ func (s *Server) DropClient(clientHost string) int {
 			(sess.cc != nil && addrHost(sess.cc.conn.RemoteAddr()) == clientHost) {
 			doomed = append(doomed, sess)
 		}
+	}
+	if len(doomed) == 0 {
+		// The common churn case: the departing client tore all its sessions
+		// down cleanly. Skip the sort so the per-departure sweep stays
+		// allocation-free.
+		return 0
 	}
 	// Stable reap order: stop() can close connections (which sends), and
 	// map iteration order must not leak into the packet stream.
@@ -312,6 +323,13 @@ func (s *Server) removeSession(sess *streamSession) {
 	if sess.spec.ClientDataAddr != "" && s.byDataAddr[sess.spec.ClientDataAddr] == sess {
 		delete(s.byDataAddr, sess.spec.ClientDataAddr)
 	}
+	// Unhook the control connection's convenience pointer before recycling,
+	// or a session-header-less request on the old connection could reach a
+	// session that now belongs to a different client.
+	if sess.cc != nil && sess.cc.sess == sess {
+		sess.cc.sess = nil
+	}
+	s.sessFree = append(s.sessFree, sess)
 }
 
 // acceptDataTCP waits for the DataHello that binds a data connection to its

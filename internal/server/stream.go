@@ -44,15 +44,27 @@ type streamSession struct {
 	dataTCP transport.Conn
 	dataUDP transport.Conn // port-backed view for UDP sends, peer resolved once
 
-	src      *media.FrameSource
+	src *media.FrameSource
+	// srcStore is the pooled frame-source object behind src: src doubles
+	// as the "streaming started" sentinel (nil until PLAY), so the
+	// reusable storage lives in its own field and survives recycling.
+	srcStore *media.FrameSource
 	encIdx   int
 	playing  bool
 	stopped  bool
 	startAt  time.Duration // virtual time of PLAY
 	mediaPos time.Duration // media time sent so far
 
-	paceTimer  vclock.Timer
-	checkTimer vclock.Timer
+	paceTimer  vclock.Handle
+	checkTimer vclock.Handle
+
+	// arena backs every packet struct this session sends (Data, Repair,
+	// EOS, retransmit wrappers). It is rewound when the session object is
+	// leased from the server's free-list for a new SETUP — the only point
+	// where no reference into it can remain (the previous client's host is
+	// gone or its data port closed, so in-flight packets drop unread, and
+	// the player never dereferences stale receive-side pointers).
+	arena rdt.Arena
 
 	videoSeq uint32
 	audioSeq uint32
@@ -74,12 +86,6 @@ type streamSession struct {
 	// the floor instead of a full map scan per packet.
 	sentVideo map[uint32]*rdt.Data
 	sentFloor uint32
-
-	// paceFn/checkFn are the timer callbacks, bound once so re-arming the
-	// pace and check timers does not allocate a fresh method-value closure
-	// every quantum.
-	paceFn  func()
-	checkFn func()
 
 	// Per-stream frame counters: the player relies on video FrameIndex
 	// continuity to detect decode-chain damage (GOP corruption).
@@ -107,20 +113,40 @@ type streamSession struct {
 	switches int
 }
 
+// newStreamSession leases a session object from the server's free-list (or
+// allocates the pool's first instances) and reinitializes it for one clip
+// playout. Recycled sessions keep their map storage, FEC scratch and packet
+// arena; everything else is reset field-by-field through the struct
+// literal, so a recycled session can never observe its predecessor's
+// retransmit window, feedback snapshot or timer state.
 func newStreamSession(s *Server, id string, clip *media.Clip, spec rtsp.TransportSpec, maxKbps float64, cc *controlConn) *streamSession {
-	sess := &streamSession{
-		srv:     s,
-		id:      id,
-		clip:    clip,
-		spec:    spec,
-		cc:      cc,
-		maxKbps: maxKbps,
+	var sess *streamSession
+	if k := len(s.sessFree); k > 0 {
+		sess = s.sessFree[k-1]
+		s.sessFree = s.sessFree[:k-1]
+		clear(sess.sentVideo)
+		clear(sess.failedRungs)
+	} else {
+		sess = &streamSession{
+			sentVideo:   make(map[uint32]*rdt.Data),
+			failedRungs: make(map[int]int),
+		}
 	}
+	*sess = streamSession{
+		srv:         s,
+		id:          id,
+		clip:        clip,
+		spec:        spec,
+		cc:          cc,
+		maxKbps:     maxKbps,
+		sentVideo:   sess.sentVideo,
+		failedRungs: sess.failedRungs,
+		fecMeta:     sess.fecMeta[:0],
+		arena:       sess.arena,
+		srcStore:    sess.srcStore,
+	}
+	sess.arena.Reset()
 	sess.encIdx = clip.EncodingIndexFor(maxKbps)
-	sess.sentVideo = make(map[uint32]*rdt.Data)
-	sess.failedRungs = make(map[int]int)
-	sess.paceFn = sess.pace
-	sess.checkFn = sess.check
 	if spec.Protocol == "udp" {
 		// Pace from the client's stated connection speed, not the encoding:
 		// a broadband-only clip served to a modem must still start at modem
@@ -134,6 +160,17 @@ func newStreamSession(s *Server, id string, clip *media.Clip, spec rtsp.Transpor
 	}
 	return sess
 }
+
+// paceArm and checkArm give the session's two recurring timers distinct
+// EventHandler identities without boxing allocations: a converted pointer
+// to the session itself is the handler.
+type paceArm streamSession
+
+func (x *paceArm) Fire(time.Duration) { (*streamSession)(x).pace() }
+
+type checkArm streamSession
+
+func (x *checkArm) Fire(time.Duration) { (*streamSession)(x).check() }
 
 func (sess *streamSession) bindTCPData(conn transport.Conn) {
 	sess.dataTCP = conn
@@ -162,7 +199,11 @@ func (sess *streamSession) maybeStart() {
 		return
 	}
 	enc := sess.clip.Encodings[sess.encIdx]
-	sess.src = media.NewFrameSource(sess.clip, enc)
+	if sess.srcStore == nil {
+		sess.srcStore = &media.FrameSource{}
+	}
+	sess.srcStore.Reset(sess.clip, enc)
+	sess.src = sess.srcStore
 	sess.startAt = sess.srv.cfg.Clock.Now()
 	sess.budget = 4096 // small initial allowance
 	sess.schedulePace()
@@ -171,23 +212,14 @@ func (sess *streamSession) maybeStart() {
 
 func (sess *streamSession) pause() {
 	sess.playing = false
-	if sess.paceTimer != nil {
-		sess.paceTimer.Cancel()
-		sess.paceTimer = nil
-	}
+	sess.paceTimer.Cancel()
 }
 
 func (sess *streamSession) stop() {
 	sess.stopped = true
 	sess.playing = false
-	if sess.paceTimer != nil {
-		sess.paceTimer.Cancel()
-		sess.paceTimer = nil
-	}
-	if sess.checkTimer != nil {
-		sess.checkTimer.Cancel()
-		sess.checkTimer = nil
-	}
+	sess.paceTimer.Cancel()
+	sess.checkTimer.Cancel()
 	if sess.dataTCP != nil {
 		sess.dataTCP.Close()
 	}
@@ -197,14 +229,14 @@ func (sess *streamSession) schedulePace() {
 	if sess.stopped || !sess.playing {
 		return
 	}
-	sess.paceTimer = sess.srv.cfg.Clock.After(paceQuantum, sess.paceFn)
+	sess.paceTimer = sess.srv.cfg.Clock.AfterHandler(paceQuantum, (*paceArm)(sess))
 }
 
 func (sess *streamSession) scheduleCheck() {
 	if sess.stopped {
 		return
 	}
-	sess.checkTimer = sess.srv.cfg.Clock.After(switchCheck, sess.checkFn)
+	sess.checkTimer = sess.srv.cfg.Clock.AfterHandler(switchCheck, (*checkArm)(sess))
 }
 
 // pace sends due frames, respecting the ahead window and (for UDP) the rate
@@ -304,15 +336,15 @@ func (sess *streamSession) sendFrame(f media.Frame) {
 			sz = maxFragment
 		}
 		remaining -= sz
-		d := &rdt.Data{
-			Stream:     stream,
-			MediaTime:  uint32(f.MediaTime.Milliseconds()),
-			EncRate:    uint16(enc.TotalKbps),
-			FrameIndex: frameIdx,
-			FragIndex:  uint8(i),
-			FragCount:  uint8(frags),
-			PadLen:     sz,
-		}
+		pkt := sess.arena.Data()
+		d := pkt.Data
+		d.Stream = stream
+		d.MediaTime = uint32(f.MediaTime.Milliseconds())
+		d.EncRate = uint16(enc.TotalKbps)
+		d.FrameIndex = frameIdx
+		d.FragIndex = uint8(i)
+		d.FragCount = uint8(frags)
+		d.PadLen = sz
 		if f.Keyframe {
 			d.Flags |= rdt.FlagKeyframe
 		}
@@ -323,7 +355,6 @@ func (sess *streamSession) sendFrame(f media.Frame) {
 			d.Seq = sess.audioSeq
 			sess.audioSeq++
 		}
-		pkt := &rdt.Packet{Kind: rdt.TypeData, Data: d}
 		sess.sendData(pkt)
 		if f.Video && sess.spec.Protocol == "udp" {
 			sess.rememberVideo(d)
@@ -357,15 +388,15 @@ func (sess *streamSession) accumulateFEC(d *rdt.Data) {
 			maxSz = int(m.Size)
 		}
 	}
-	rep := &rdt.Packet{Kind: rdt.TypeRepair, Repair: &rdt.Repair{
-		Stream:  rdt.StreamVideo,
-		BaseSeq: sess.fecBase,
-		Group:   uint8(len(sess.fecMeta)),
-		Meta:    append([]rdt.RepairMeta(nil), sess.fecMeta...),
-		PadLen:  maxSz,
-	}}
+	pkt := sess.arena.Repair()
+	rep := pkt.Repair
+	rep.Stream = rdt.StreamVideo
+	rep.BaseSeq = sess.fecBase
+	rep.Group = uint8(len(sess.fecMeta))
+	rep.Meta = append(rep.Meta, sess.fecMeta...)
+	rep.PadLen = maxSz
 	sess.fecMeta = sess.fecMeta[:0]
-	sess.sendData(rep)
+	sess.sendData(pkt)
 }
 
 func (sess *streamSession) sendData(pkt *rdt.Packet) {
@@ -380,7 +411,9 @@ func (sess *streamSession) sendData(pkt *rdt.Packet) {
 }
 
 func (sess *streamSession) sendEOS() {
-	sess.sendData(&rdt.Packet{Kind: rdt.TypeEndOfStream, EOS: &rdt.EndOfStream{FinalSeq: sess.videoSeq}})
+	pkt := sess.arena.EOS()
+	pkt.EOS.FinalSeq = sess.videoSeq
+	sess.sendData(pkt)
 	sess.playing = false
 }
 
@@ -525,7 +558,7 @@ func (sess *streamSession) applySwitch(idx int) {
 	sess.encIdx = idx
 	sess.switches++
 	enc := sess.clip.Encodings[idx]
-	sess.src = media.NewFrameSourceAt(sess.clip, enc, sess.mediaPos)
+	sess.src.ResetAt(sess.clip, enc, sess.mediaPos)
 	sess.hasPending = false
 }
 
@@ -565,7 +598,7 @@ func (sess *streamSession) retransmit(nk *rdt.Nack) {
 	}
 	for _, seq := range nk.Seqs {
 		if d, ok := sess.sentVideo[seq]; ok {
-			sess.sendData(&rdt.Packet{Kind: rdt.TypeData, Data: d})
+			sess.sendData(sess.arena.Wrap(d))
 		}
 	}
 }

@@ -1,0 +1,131 @@
+package study
+
+import (
+	"bytes"
+	"testing"
+
+	"realtracer/internal/trace"
+)
+
+// sessionAllocBudget bounds the steady-state allocations per open-loop
+// session. A session is not allocation-free — each clip still dials fresh
+// control/data connections and the RTSP exchange builds messages — but the
+// bundle free-list keeps the per-session object graph (tracer, player,
+// arenas, record storage, plan scratch) out of the count. Before the
+// free-list a session cost ~10,000 allocations; the measured steady state
+// is ~410, and the budget sits ~2x above it so a regression back toward
+// per-arrival construction fails loudly while dial/RTSP noise does not.
+const sessionAllocBudget = 900
+
+// churnOpts is the high-intensity open-loop study the recycle tests share:
+// a small template pool driven hard enough that mid-stream abandonment and
+// template reuse both occur.
+func churnOpts() Options {
+	return Options{Seed: 11, MaxUsers: 6, ClipCap: 2, Workload: "poisson", Arrivals: 25, WorkloadIntensity: 3}
+}
+
+// TestSessionChurnAllocBudget is the tentpole's regression fence, the
+// open-loop mirror of transport's TestSteadyStateAllocBudget: once every
+// template's bundle exists, admitting / playing / ending a session reuses
+// the pooled machinery instead of rebuilding it.
+func TestSessionChurnAllocBudget(t *testing.T) {
+	w, err := NewWorld(Options{Seed: 31, MaxUsers: 12, ClipCap: 2, Workload: "poisson", Arrivals: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream records instead of retaining them: record storage is only
+	// recycled when the sink lets go of each record, which is the shape
+	// the population-scale benchmarks run in.
+	var observed int
+	w.SetSink(trace.SinkFunc(func(*trace.Record) { observed++ }))
+
+	o := w.open
+	completed := func() int { return o.sessions - o.active }
+	runSessions := func(n int) {
+		for target := completed() + n; completed() < target; {
+			if !w.Clock.Step() {
+				t.Fatal("clock drained before the session window completed")
+			}
+		}
+	}
+
+	// Warm-up: rotate through the pool enough times that every template's
+	// bundle is built and every free-list (sessions, hosts, packet slabs,
+	// record scratch) has reached steady state.
+	runSessions(5 * len(w.Users))
+	if observed == 0 {
+		t.Fatal("warm-up streamed no records")
+	}
+
+	const window = 20
+	perSession := testing.AllocsPerRun(3, func() { runSessions(window) }) / window
+	t.Logf("steady-state allocations per session: %.0f (budget %d)", perSession, sessionAllocBudget)
+	if perSession > sessionAllocBudget {
+		t.Errorf("steady-state churn allocates %.0f objects per session, budget %d — the session free-list has regressed",
+			perSession, sessionAllocBudget)
+	}
+}
+
+// TestOpenLoopChurnDeterministic: pooled bundles must not leak state across
+// the sessions they serve. Identical high-churn runs — departures tearing
+// hosts out mid-stream, every template recycled repeatedly — produce
+// byte-identical records; any predecessor state surviving a recycle would
+// perturb the second run's draw stream or measurements.
+func TestOpenLoopChurnDeterministic(t *testing.T) {
+	run := func() (*Result, []byte) {
+		res, err := Run(churnOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, res.Records); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	a, csvA := run()
+	b, csvB := run()
+	if a.Departed == 0 {
+		t.Fatal("churn run saw no mid-stream departures; the abandonment recycle path went untested")
+	}
+	if a.Sessions <= len(a.Users) {
+		t.Fatalf("only %d sessions over a %d-template pool; no bundle was recycled", a.Sessions, len(a.Users))
+	}
+	if !bytes.Equal(csvA, csvB) {
+		t.Fatal("records differ between identical high-churn runs: recycled session state leaked")
+	}
+	if a.Sessions != b.Sessions || a.Departed != b.Departed || a.Balked != b.Balked {
+		t.Fatal("session accounting differs between identical high-churn runs")
+	}
+}
+
+// TestOpenLoopBundlesAreReused: the free-list actually frees — a run with
+// more sessions than templates finishes with at most one bundle per
+// template, every one quiescent. One bundle serving several time-disjoint
+// sessions is the lifecycle the alloc budget above depends on.
+func TestOpenLoopBundlesAreReused(t *testing.T) {
+	w, err := NewWorld(churnOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := 0
+	for _, b := range w.open.bundles {
+		if b == nil {
+			continue
+		}
+		built++
+		if !b.done {
+			t.Fatalf("template %s bundle still live after the run ended", w.Users[b.idx].Name)
+		}
+	}
+	if built == 0 || built > len(w.Users) {
+		t.Fatalf("%d bundles built for a %d-template pool", built, len(w.Users))
+	}
+	if res.Sessions <= built {
+		t.Fatalf("%d sessions over %d bundles; no bundle served more than one session", res.Sessions, built)
+	}
+}

@@ -59,8 +59,30 @@ func (f *SessionFactory) observe(rec *trace.Record) {
 func (f *SessionFactory) newTracer(u *geo.User, rng *rand.Rand, playlist []tracer.Entry,
 	selectServer func(tracer.Entry) tracer.Entry,
 	onRecord func(*trace.Record), onFinished func()) *tracer.Tracer {
+	return tracer.New(f.config(u, rng, playlist, selectServer, onRecord, onFinished, false))
+}
+
+// bundleTracer builds the reusable tracer for one open-loop template
+// bundle. Everything the config binds — the template's transport stack,
+// RNG, rater and lifecycle hooks — is created once here and survives every
+// session the bundle serves; per-session state (the playlist) is installed
+// by Tracer.Reset on each arrival. Record storage is reused across clips
+// exactly when the world's sink does not retain records.
+func (f *SessionFactory) bundleTracer(u *geo.User, rng *rand.Rand,
+	selectServer func(tracer.Entry) tracer.Entry,
+	onRecord func(*trace.Record), onFinished func()) *tracer.Tracer {
+	return tracer.New(f.config(u, rng, nil, selectServer, onRecord, onFinished, f.w.collector == nil))
+}
+
+// config assembles one tracer.Config. The transport stack created here is
+// bound to the user's host name, not to a host incarnation: interned host
+// IDs are permanent and ephemeral ports advance monotonically, so the same
+// stack serves every re-arrival of a pooled template.
+func (f *SessionFactory) config(u *geo.User, rng *rand.Rand, playlist []tracer.Entry,
+	selectServer func(tracer.Entry) tracer.Entry,
+	onRecord func(*trace.Record), onFinished func(), reuseRecord bool) tracer.Config {
 	rater := newRater(u, rng)
-	return tracer.New(tracer.Config{
+	return tracer.Config{
 		Clock:        vclock.Sim{C: f.w.Clock},
 		Net:          session.SimNet{Stack: transport.NewStack(f.w.Net, u.Name)},
 		User:         u,
@@ -72,5 +94,6 @@ func (f *SessionFactory) newTracer(u *geo.User, rng *rand.Rand, playlist []trace
 		SelectServer: selectServer,
 		OnRecord:     onRecord,
 		OnFinished:   onFinished,
-	})
+		ReuseRecord:  reuseRecord,
+	}
 }

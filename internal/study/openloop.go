@@ -28,6 +28,11 @@ type openLoop struct {
 	busy   []bool // template pool occupancy, indexed like World.Users
 	cursor int    // round-robin template scan position
 
+	// bundles are the per-template session machinery, built on a
+	// template's first arrival and reused for every arrival after it —
+	// the free-list behind the zero-allocation session lifecycle.
+	bundles []*sessionBundle
+
 	cands []workload.Candidate // per-pick scratch (single-threaded world)
 }
 
@@ -83,10 +88,18 @@ func (w *World) startWorkload() error {
 		rng:          rand.New(rand.NewSource(seed)),
 		arrivalsLeft: opt.Arrivals,
 		busy:         make([]bool, pool),
+		bundles:      make([]*sessionBundle, pool),
 	}
 	w.scheduleArrival()
 	return nil
 }
+
+// arriveArm is the pooled handler behind every arrival event: a
+// pointer-conversion view of World, so sustaining the arrival train
+// schedules nothing but recycled clock events.
+type arriveArm World
+
+func (x *arriveArm) Fire(time.Duration) { (*World)(x).arrive() }
 
 // scheduleArrival draws the next inter-arrival gap and schedules the
 // arrival; the generator sustains itself one event at a time instead of
@@ -96,7 +109,7 @@ func (w *World) scheduleArrival() {
 		return
 	}
 	gap := w.open.spec.NextGap(w.Clock.Now(), w.open.rng)
-	w.Clock.After(gap, w.arrive)
+	w.Clock.AfterHandler(gap, (*arriveArm)(w))
 }
 
 // arrive admits one session: pick an idle user template (round-robin scan,
@@ -123,22 +136,49 @@ func (w *World) arrive() {
 	w.scheduleArrival()
 }
 
-// openSession is one open-loop session's lifecycle state. finish and
-// depart both converge on endSession exactly once: finish is the tracer
-// walking off the end of its drawn playlist, depart is the mid-stream
-// hangup that tears the host out from under in-flight packets.
-type openSession struct {
-	w        *World
-	idx      int
+// sessionBundle is one template's reusable session machinery: the tracer
+// (with its player engine, packet arenas and transport stack), the session
+// RNG, and the plan/playlist scratch. It is built on the template's first
+// arrival and leased — never rebuilt — on every arrival after that: the
+// RNG is reseeded, the tracer Reset, and the scratch rewritten in place.
+// finish and depart both converge on endSession exactly once: finish is
+// the tracer walking off the end of its drawn playlist, depart is the
+// mid-stream hangup that tears the host out from under in-flight packets.
+type sessionBundle struct {
+	w   *World
+	idx int
+
+	rng      *rand.Rand
 	tr       *tracer.Tracer
-	departEv *simclock.Event
-	done     bool
-	departed bool
+	clips    []int          // NextPlanInto scratch, holds the drawn plan
+	playlist []tracer.Entry // per-session playlist storage, reused
+
+	departTimer simclock.Timer
+	done        bool
+	departed    bool
+}
+
+// departArm is the pooled handler for the mid-stream departure deadline.
+type departArm sessionBundle
+
+func (x *departArm) Fire(time.Duration) { (*sessionBundle)(x).depart() }
+
+// newBundle builds a template's bundle on its first arrival. The bound
+// method values and the selection closure here are the bundle's only
+// closure allocations, paid once per template for the run's lifetime.
+func (w *World) newBundle(idx int, seed int64) *sessionBundle {
+	u := w.Users[idx]
+	b := &sessionBundle{w: w, idx: idx, rng: rand.New(rand.NewSource(seed))}
+	b.tr = w.factory.bundleTracer(u, b.rng, w.selectFor(u.Name), b.onRecord, b.finish)
+	return b
 }
 
 // launchSession draws the session plan (clip count, Zipf clip picks,
-// abandonment) from a session RNG, attaches the template's host — a fresh
-// incarnation if this template arrived before — and starts the tracer now.
+// abandonment) from the template's reseeded session RNG, attaches the
+// template's host — a fresh incarnation if this template arrived before —
+// and starts the tracer now. Reseeding the pooled RNG reproduces the
+// exact draw stream a freshly-constructed RNG would give, so the records
+// are byte-identical to the unpooled lifecycle's.
 func (w *World) launchSession(idx int) {
 	o := w.open
 	u := w.Users[idx]
@@ -146,19 +186,29 @@ func (w *World) launchSession(idx int) {
 	o.active++
 	o.sessions++
 
-	rng := rand.New(rand.NewSource(o.rng.Int63()))
-	plan := o.spec.NextPlan(rng, len(w.Playlist), sessionClipCycle(w.Options))
-	playlist := make([]tracer.Entry, len(plan.Clips))
-	for i, c := range plan.Clips {
-		playlist[i] = w.Playlist[c]
+	seed := o.rng.Int63()
+	b := o.bundles[idx]
+	if b == nil {
+		b = w.newBundle(idx, seed)
+		o.bundles[idx] = b
+	} else {
+		b.rng.Seed(seed)
 	}
-	w.factory.attach(u, rng)
-	sess := &openSession{w: w, idx: idx}
-	sess.tr = w.factory.newTracer(u, rng, playlist, w.selectFor(u.Name), sess.onRecord, sess.finish)
+	b.done, b.departed = false, false
+
+	plan := o.spec.NextPlanInto(b.rng, len(w.Playlist), sessionClipCycle(w.Options), b.clips)
+	b.clips = plan.Clips // keep the grown scratch for the next arrival
+	b.playlist = b.playlist[:0]
+	for _, c := range plan.Clips {
+		b.playlist = append(b.playlist, w.Playlist[c])
+	}
+	w.factory.attach(u, b.rng)
+	b.tr.Reset(b.playlist)
+	b.departTimer = simclock.Timer{}
 	if plan.DepartAfter > 0 {
-		sess.departEv = w.Clock.After(plan.DepartAfter, sess.depart)
+		b.departTimer = w.Clock.AfterHandler(plan.DepartAfter, (*departArm)(b))
 	}
-	sess.tr.Run()
+	b.tr.Run()
 }
 
 // selectFor builds the per-clip selection hook for one session: probe
@@ -204,38 +254,42 @@ func replaceHost(addr, host string) string {
 // onRecord forwards a completed clip's record to the sink, unless the user
 // already hung up — an abandoned session reports nothing after departure,
 // like a real client that is simply gone.
-func (s *openSession) onRecord(rec *trace.Record) {
-	if s.departed {
+func (b *sessionBundle) onRecord(rec *trace.Record) {
+	if b.departed {
 		return
 	}
-	s.w.factory.observe(rec)
+	b.w.factory.observe(rec)
 }
 
 // finish is the tracer's natural end of session.
-func (s *openSession) finish() {
-	if s.done {
+func (b *sessionBundle) finish() {
+	if b.done {
 		return
 	}
-	s.done = true
-	if s.departEv != nil {
-		s.departEv.Cancel()
-	}
-	s.w.endSession(s.idx)
+	b.done = true
+	b.departTimer.Cancel()
+	b.w.endSession(b.idx)
 }
 
 // depart is the mid-stream hangup: stop the playlist walk, then tear the
 // host out of the network with the clip still streaming. In-flight packets
 // addressed to the host are dropped (and released back to the packet pool)
 // by netsim; endSession reaps the orphaned server-side session — no
-// TEARDOWN can ever arrive from a host that is gone.
-func (s *openSession) depart() {
-	if s.done {
+// TEARDOWN can ever arrive from a host that is gone. The tracer is then
+// hard-stopped: once the host is removed every send from it drops at the
+// source lookup before any RNG draw, so aborting the zombie player changes
+// no record and no draw stream — it only stops the zombie from burning
+// clock events until its PlayFor would have elapsed, and it is what lets
+// the bundle be relaunched without a live predecessor still holding it.
+func (b *sessionBundle) depart() {
+	if b.done {
 		return
 	}
-	s.done, s.departed = true, true
-	s.tr.Stop()
-	s.w.open.departed++
-	s.w.endSession(s.idx)
+	b.done, b.departed = true, true
+	b.tr.Stop()
+	b.w.open.departed++
+	b.w.endSession(b.idx)
+	b.tr.Abort()
 }
 
 // endSession removes the session's host, reaps any server-side session

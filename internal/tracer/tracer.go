@@ -11,6 +11,7 @@ import (
 	"realtracer/internal/geo"
 	"realtracer/internal/netsim"
 	"realtracer/internal/player"
+	"realtracer/internal/rdt"
 	"realtracer/internal/session"
 	"realtracer/internal/trace"
 	"realtracer/internal/transport"
@@ -52,15 +53,48 @@ type Config struct {
 	OnRecord func(rec *trace.Record)
 	// OnFinished fires after the final clip.
 	OnFinished func()
+	// ReuseRecord, when true, hands OnRecord the same Record storage for
+	// every clip: the record is valid only for the duration of the call,
+	// so it is safe only for sinks that do not retain (aggregating sinks).
+	// False (the default) allocates a fresh Record per clip, which the
+	// retain-everything trace.Collector requires.
+	ReuseRecord bool
 }
 
-// Tracer runs one user's session.
+// Tracer runs one user's session. A Tracer owns a single player engine and
+// a pair of packet arenas that it recycles clip after clip — and, via
+// Reset, session after session — so a long churn of sessions through one
+// Tracer stops allocating once its working set has grown.
 type Tracer struct {
 	cfg     Config
 	idx     int
 	played  int // successfully played clips (for rating budget)
 	rated   int
 	stopped bool
+
+	// pl is the single player engine, built lazily on the first clip and
+	// Reset for every clip after that. onDone is the bound method value
+	// handed to the player once, instead of one closure per clip.
+	pl     *player.Player
+	onDone func(*player.Stats, error)
+
+	// arenas ping-pong between clips: the incoming clip resets and uses
+	// one while packets minted by the previous clip — in flight for at
+	// most a few seconds of virtual time — stay valid in the other until
+	// the clip after next.
+	arenas [2]*rdt.Arena
+	ai     int
+
+	// pause is the armed inter-clip think-time timer; Abort cancels it so
+	// a recycled Tracer leaves nothing behind on the clock.
+	pause vclock.Handle
+
+	// curEntry/curStarted carry the in-flight clip's identity to onDone
+	// (fields instead of a fresh closure environment per clip).
+	curEntry   Entry
+	curStarted time.Duration
+
+	rec trace.Record // record scratch, used when cfg.ReuseRecord
 }
 
 // New builds a Tracer.
@@ -68,7 +102,21 @@ func New(cfg Config) *Tracer {
 	if cfg.PlayFor <= 0 {
 		cfg.PlayFor = player.DefaultPlayFor
 	}
-	return &Tracer{cfg: cfg}
+	t := &Tracer{cfg: cfg}
+	t.onDone = t.clipDone
+	return t
+}
+
+// Reset rewires the Tracer for a fresh playlist pass, reusing the player,
+// the arenas and the session's config. Only the playlist changes between
+// the sessions a pooled Tracer serves; everything else in Config — clock,
+// net, user, RNG, hooks — is template-bound and stays. The caller must
+// have stopped the previous pass first (Abort, or natural completion).
+func (t *Tracer) Reset(playlist []Entry) {
+	t.pause.Cancel()
+	t.cfg.Playlist = playlist
+	t.idx, t.played, t.rated = 0, 0, 0
+	t.stopped = false
 }
 
 // Run starts walking the playlist.
@@ -76,6 +124,25 @@ func (t *Tracer) Run() { t.next() }
 
 // Stop abandons the playlist after the in-flight clip.
 func (t *Tracer) Stop() { t.stopped = true }
+
+// Abort hard-stops the session now: the armed inter-clip pause is
+// cancelled and the in-flight player run is torn down without reporting.
+// After Abort the Tracer schedules nothing and sends nothing — the state a
+// pooled Tracer must reach before its template is recycled.
+func (t *Tracer) Abort() {
+	t.stopped = true
+	t.pause.Cancel()
+	if t.pl != nil {
+		t.pl.Abort()
+	}
+}
+
+// tracerArm is the pooled timer handler for the inter-clip pause: a
+// pointer-conversion view of Tracer, so arming the timer allocates
+// nothing.
+type tracerArm Tracer
+
+func (x *tracerArm) Fire(time.Duration) { (*Tracer)(x).next() }
 
 // protocolFor models RealPlayer's transport auto-configuration: users whose
 // environment forces TCP (firewalls and similar) always use it; the rest
@@ -121,9 +188,20 @@ func (t *Tracer) next() {
 	if t.cfg.SelectServer != nil {
 		entry = t.cfg.SelectServer(entry)
 	}
-	started := t.cfg.Clock.Now()
+	t.curEntry = entry
+	t.curStarted = t.cfg.Clock.Now()
 
-	p := player.New(player.Config{
+	// Swap to the arena the previous clip did NOT use and rewind it. Any
+	// packet from the last clip still crossing the network dereferences
+	// the other arena, whose cells stay intact until the clip after this
+	// one — far longer than any packet lives in flight.
+	t.ai ^= 1
+	if t.arenas[t.ai] == nil {
+		t.arenas[t.ai] = &rdt.Arena{}
+	}
+	t.arenas[t.ai].Reset()
+
+	cfg := player.Config{
 		Clock:            t.cfg.Clock,
 		Net:              t.cfg.Net,
 		ControlAddr:      entry.ControlAddr,
@@ -134,26 +212,42 @@ func (t *Tracer) next() {
 		Preroll:          t.cfg.Preroll,
 		CPU:              player.PCClasses()[t.cfg.User.PCClass],
 		Rand:             t.cfg.Rand,
-		OnDone: func(st *player.Stats, err error) {
-			rec := t.recordFor(entry, st)
-			rec.StartSec = started.Seconds()
-			rec.EndSec = t.cfg.Clock.Now().Seconds()
-			t.maybeRate(rec)
-			if t.cfg.OnRecord != nil {
-				t.cfg.OnRecord(rec)
-			}
-			// Brief pause between clips: the rating dialog lingers up to
-			// 10 s, plus human think time.
-			pause := 2*time.Second + time.Duration(t.cfg.Rand.Intn(9000))*time.Millisecond
-			t.cfg.Clock.After(pause, t.next)
-		},
-	})
-	p.Start()
+		Arena:            t.arenas[t.ai],
+		OnDone:           t.onDone,
+	}
+	if t.pl == nil {
+		t.pl = player.New(cfg)
+	} else {
+		t.pl.Reset(cfg)
+	}
+	t.pl.Start()
+}
+
+// clipDone is the player's OnDone: record the clip, maybe rate it, and
+// schedule the next one after the think-time pause.
+func (t *Tracer) clipDone(st *player.Stats, err error) {
+	rec := t.recordFor(t.curEntry, st)
+	rec.StartSec = t.curStarted.Seconds()
+	rec.EndSec = t.cfg.Clock.Now().Seconds()
+	t.maybeRate(rec)
+	if t.cfg.OnRecord != nil {
+		t.cfg.OnRecord(rec)
+	}
+	// Brief pause between clips: the rating dialog lingers up to
+	// 10 s, plus human think time.
+	pause := 2*time.Second + time.Duration(t.cfg.Rand.Intn(9000))*time.Millisecond
+	t.pause = t.cfg.Clock.AfterHandler(pause, (*tracerArm)(t))
 }
 
 func (t *Tracer) recordFor(entry Entry, st *player.Stats) *trace.Record {
+	var rec *trace.Record
+	if t.cfg.ReuseRecord {
+		rec = &t.rec
+	} else {
+		rec = new(trace.Record)
+	}
 	u := t.cfg.User
-	rec := &trace.Record{
+	*rec = trace.Record{
 		User:    u.Name,
 		Country: u.Country,
 		State:   u.State,

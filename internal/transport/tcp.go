@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"sort"
 	"time"
 
 	"realtracer/internal/netsim"
@@ -33,9 +32,10 @@ type simTCP struct {
 	recv          func(any, int)
 
 	// Sender state.
-	nextSeq  uint64 // next sequence to assign
-	sendBase uint64 // oldest unacked
-	queue    []*tcpSeg
+	nextSeq  uint64    // next sequence to assign
+	sendBase uint64    // oldest unacked
+	queue    []*tcpSeg // send queue; live region is queue[qhead:]
+	qhead    int       // consumed prefix — see pump (head index, not re-slice)
 	inflight map[uint64]*tcpSeg
 	cwnd     float64 // congestion window, segments
 	ssthresh float64
@@ -50,6 +50,17 @@ type simTCP struct {
 	// Receiver state.
 	rcvNext uint64
 	reorder map[uint64]*tcpSeg
+
+	// Segment slab: segments are carved out of chunked backing arrays, one
+	// chunk allocation per segChunk segments instead of one per Send. Slab
+	// segments are never recycled within a connection — a segment can be
+	// referenced by the send queue, the inflight set, in-flight network
+	// copies (retransmits clone nothing) and the peer's reorder buffer all
+	// at once, so the only safe reclaim point is the connection's death,
+	// when the whole slab becomes garbage together.
+	segSlab []tcpSeg
+	segUsed int
+	requeue []*tcpSeg // scratch for onRTO's go-back-N sweep
 
 	// Counters for tests and diagnostics.
 	retransmits     uint64
@@ -86,11 +97,33 @@ func (c *simTCP) Send(payload any, size int) error {
 	if c.closed {
 		return ErrClosed
 	}
-	seg := &tcpSeg{conn: c, seq: c.nextSeq, payload: payload, size: size}
+	seg := c.newSeg()
+	seg.conn, seg.seq, seg.payload, seg.size = c, c.nextSeq, payload, size
 	c.nextSeq++
+	if c.qhead == len(c.queue) {
+		// Drained: rewind so the append below reuses the backing array
+		// from the front instead of growing it forever.
+		c.queue, c.qhead = c.queue[:0], 0
+	}
 	c.queue = append(c.queue, seg)
 	c.pump()
 	return nil
+}
+
+// segChunk sizes the slab chunks newSeg carves segments from.
+const segChunk = 64
+
+// newSeg returns a zeroed segment backed by the connection's slab. Earlier
+// chunks stay alive exactly as long as some queue, inflight set, network
+// hop or reorder buffer still points into them.
+func (c *simTCP) newSeg() *tcpSeg {
+	if c.segUsed == len(c.segSlab) {
+		c.segSlab = make([]tcpSeg, segChunk)
+		c.segUsed = 0
+	}
+	seg := &c.segSlab[c.segUsed]
+	c.segUsed++
+	return seg
 }
 
 func (c *simTCP) SetReceiver(fn func(any, int)) { c.recv = fn }
@@ -100,7 +133,9 @@ func (c *simTCP) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.sendRaw(&tcpSeg{conn: c, fin: true}, 0)
+	fin := c.newSeg()
+	fin.conn, fin.fin = c, true
+	c.sendRaw(fin, 0)
 	c.teardown()
 	return nil
 }
@@ -119,7 +154,7 @@ func (c *simTCP) RTT() time.Duration { return c.srtt }
 // QueueDepth reports how many messages are waiting or in flight — the
 // sender-side backlog a streaming server watches to detect that TCP cannot
 // sustain the media rate.
-func (c *simTCP) QueueDepth() int { return len(c.queue) + len(c.inflight) }
+func (c *simTCP) QueueDepth() int { return len(c.queue) - c.qhead + len(c.inflight) }
 
 // Counters returns (retransmits, fastRetransmits, timeouts).
 func (c *simTCP) Counters() (uint64, uint64, uint64) {
@@ -135,9 +170,9 @@ func (c *simTCP) pump() {
 	if limit > rwndSegs {
 		limit = rwndSegs
 	}
-	for len(c.queue) > 0 && len(c.inflight) < limit {
-		seg := c.queue[0]
-		c.queue = c.queue[1:]
+	for c.qhead < len(c.queue) && len(c.inflight) < limit {
+		seg := c.queue[c.qhead]
+		c.qhead++
 		if seg.seq < c.sendBase {
 			continue // requeued after a timeout but since acknowledged
 		}
@@ -159,6 +194,19 @@ func (c *simTCP) transmit(seg *tcpSeg, rexmit bool) {
 
 func (c *simTCP) sendRaw(seg *tcpSeg, size int) {
 	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, size+segHeader, seg)
+}
+
+// sendSyn and sendSynAck emit slab-backed handshake segments.
+func (c *simTCP) sendSyn() {
+	seg := c.newSeg()
+	seg.conn, seg.syn = c, true
+	c.sendRaw(seg, 0)
+}
+
+func (c *simTCP) sendSynAck() {
+	seg := c.newSeg()
+	seg.conn, seg.synAck = c, true
+	c.sendRaw(seg, 0)
 }
 
 // Fire implements simclock.EventHandler: the conn itself is the RTO timer's
@@ -196,7 +244,7 @@ func (c *simTCP) onRTO() {
 	c.dupAcks = 0
 	c.rto = minDur(c.rto*2, maxRTO)
 	oldest := c.oldestInflight()
-	var requeue []*tcpSeg
+	requeue := c.requeue[:0]
 	for seq, seg := range c.inflight {
 		if seg == oldest {
 			continue
@@ -205,8 +253,21 @@ func (c *simTCP) onRTO() {
 		requeue = append(requeue, seg)
 		delete(c.inflight, seq)
 	}
-	sort.Slice(requeue, func(i, j int) bool { return requeue[i].seq < requeue[j].seq })
-	c.queue = append(requeue, c.queue...)
+	// Insertion sort into seq order: flights are at most rwndSegs segments,
+	// and a named sort here (unlike sort.Slice) costs no closure.
+	for i := 1; i < len(requeue); i++ {
+		for j := i; j > 0 && requeue[j-1].seq > requeue[j].seq; j-- {
+			requeue[j-1], requeue[j] = requeue[j], requeue[j-1]
+		}
+	}
+	// Prepend in place: grow the queue, shift the existing tail right, and
+	// copy the sorted retransmit batch to the front. The scratch slice keeps
+	// its storage for the next timeout.
+	n := len(requeue)
+	c.queue = append(c.queue, requeue...)
+	copy(c.queue[c.qhead+n:], c.queue[c.qhead:len(c.queue)-n])
+	copy(c.queue[c.qhead:c.qhead+n], requeue)
+	c.requeue = requeue[:0]
 	if oldest != nil {
 		c.transmit(oldest, true)
 	}

@@ -182,7 +182,7 @@ func (s *Stack) Listen(port int, accept func(Conn)) (stop func()) {
 			return
 		}
 		if c, dup := seen[pkt.From]; dup && !c.closed {
-			c.sendRaw(&tcpSeg{conn: c, synAck: true}, 0)
+			c.sendSynAck()
 			return
 		}
 		// The server side answers from a fresh ephemeral port; the client
@@ -191,7 +191,7 @@ func (s *Stack) Listen(port int, accept func(Conn)) (stop func()) {
 		c.established = true
 		seen[pkt.From] = c
 		accept(c)
-		c.sendRaw(&tcpSeg{conn: c, synAck: true}, 0)
+		c.sendSynAck()
 	})
 	return func() { s.net.Unregister(laddr) }
 }
@@ -214,7 +214,7 @@ func (s *Stack) DialTCP(raddr string, cb func(Conn, error)) {
 	for _, after := range []time.Duration{2 * time.Second, 5 * time.Second} {
 		retries = append(retries, s.clock.After(after, func() {
 			if !done {
-				c.sendRaw(&tcpSeg{conn: c, syn: true}, 0)
+				c.sendSyn()
 			}
 		}))
 	}
@@ -229,7 +229,7 @@ func (s *Stack) DialTCP(raddr string, cb func(Conn, error)) {
 		}
 		cb(c, nil)
 	}
-	c.sendRaw(&tcpSeg{conn: c, syn: true}, 0)
+	c.sendSyn()
 }
 
 // ListenUDP binds a UDP port. recv is invoked for every datagram with the

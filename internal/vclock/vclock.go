@@ -28,6 +28,43 @@ type Clock interface {
 	Now() time.Duration
 	// After schedules fn to run once, d from now.
 	After(d time.Duration, fn func()) Timer
+	// AfterHandler schedules h.Fire to run once, d from now. Unlike After,
+	// the simulated implementation allocates nothing: the pending event is
+	// pooled and the returned Handle is a value type, so engines that re-arm
+	// timers on every packet (players, pacers) stay allocation-free. Handler
+	// identity is the caller's: pass a pointer to long-lived state, never a
+	// fresh closure-like box.
+	AfterHandler(d time.Duration, h simclock.EventHandler) Handle
+}
+
+// Handle is a cancellable pending handler callback, the allocation-free
+// counterpart of Timer. The zero Handle is inert: Cancel is a no-op and
+// Armed reports false, so "not scheduled" needs no sentinel.
+type Handle struct {
+	sim simclock.Timer
+	rt  *realHandle
+}
+
+// Cancel prevents the callback from firing. Idempotent; cancelling an
+// already-fired or zero Handle is a no-op. A Handle from a recycled event
+// generation is inert (the PR 4 generation-check discipline), so stale
+// handles held by pooled sessions can never cancel a successor's timer.
+func (h Handle) Cancel() {
+	if h.rt != nil {
+		h.rt.cancel()
+		return
+	}
+	h.sim.Cancel()
+}
+
+// Armed reports whether the callback is still pending. A fired, cancelled,
+// or zero Handle reports false — engines use this where they previously
+// nil-checked a Timer field.
+func (h Handle) Armed() bool {
+	if h.rt != nil {
+		return h.rt.armed()
+	}
+	return h.sim.Active()
 }
 
 // Sim adapts a *simclock.Clock to the Clock interface.
@@ -38,6 +75,12 @@ func (s Sim) Now() time.Duration { return s.C.Now() }
 
 // After implements Clock.
 func (s Sim) After(d time.Duration, fn func()) Timer { return s.C.After(d, fn) }
+
+// AfterHandler implements Clock by delegating to the simulator's pooled
+// event path.
+func (s Sim) AfterHandler(d time.Duration, h simclock.EventHandler) Handle {
+	return Handle{sim: s.C.AfterHandler(d, h)}
+}
 
 // Loop is a serial executor: functions posted from any goroutine run one at
 // a time on the goroutine that called Run.
@@ -140,3 +183,45 @@ func (r *Real) After(d time.Duration, fn func()) Timer {
 type realTimer struct{ stop func() }
 
 func (t realTimer) Cancel() { t.stop() }
+
+// AfterHandler implements Clock. Live mode has no event pool, so this path
+// allocates like After does; the zero-alloc guarantee only matters under the
+// simulator, where session churn is measured in millions.
+func (r *Real) AfterHandler(d time.Duration, h simclock.EventHandler) Handle {
+	rh := &realHandle{loop: r.Loop, clock: r, h: h}
+	rh.t = time.AfterFunc(d, rh.fired)
+	return Handle{rt: rh}
+}
+
+type realHandle struct {
+	mu    sync.Mutex
+	done  bool
+	t     *time.Timer
+	loop  *Loop
+	clock *Real
+	h     simclock.EventHandler
+}
+
+func (rh *realHandle) fired() {
+	rh.mu.Lock()
+	dead := rh.done
+	rh.done = true
+	rh.mu.Unlock()
+	if dead {
+		return
+	}
+	rh.loop.Post(func() { rh.h.Fire(rh.clock.Now()) })
+}
+
+func (rh *realHandle) cancel() {
+	rh.mu.Lock()
+	rh.done = true
+	rh.mu.Unlock()
+	rh.t.Stop()
+}
+
+func (rh *realHandle) armed() bool {
+	rh.mu.Lock()
+	defer rh.mu.Unlock()
+	return !rh.done
+}

@@ -83,6 +83,14 @@ type Plan struct {
 // mid-stream abandonment draw. clipTime is the nominal per-clip wall time
 // used to place the departure deadline inside the session's span.
 func (s *Spec) NextPlan(rng *rand.Rand, playlistLen int, clipTime time.Duration) Plan {
+	return s.NextPlanInto(rng, playlistLen, clipTime, nil)
+}
+
+// NextPlanInto is NextPlan with caller-owned clip storage: the drawn clip
+// indices land in clips[:0] (grown as needed), so a session pool that keeps
+// the returned Plan.Clips as its scratch draws plan after plan without
+// allocating. The draw order is identical to NextPlan's.
+func (s *Spec) NextPlanInto(rng *rand.Rand, playlistLen int, clipTime time.Duration, clips []int) Plan {
 	max := s.MaxClips
 	if max <= 0 || max > playlistLen {
 		max = playlistLen
@@ -98,9 +106,9 @@ func (s *Spec) NextPlan(rng *rand.Rand, playlistLen int, clipTime time.Duration)
 		s.zipf = NewZipf(s.ZipfS, playlistLen)
 		s.zipfN = playlistLen
 	}
-	clips := make([]int, n)
-	for i := range clips {
-		clips[i] = s.zipf.Draw(rng)
+	clips = clips[:0]
+	for i := 0; i < n; i++ {
+		clips = append(clips, s.zipf.Draw(rng))
 	}
 	plan := Plan{Clips: clips}
 	if s.AbandonProb > 0 && rng.Float64() < s.AbandonProb {
