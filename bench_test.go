@@ -485,3 +485,34 @@ func BenchmarkAblationScalableVideo(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWorkloadSharded is the multi-core scaling benchmark: the
+// Poisson1k workload over a 256-template pool, run through the sharded
+// engine at 1 and 4 shards. Run with -cpu 1,4 to see the scaling curve;
+// the records are byte-identical across the sub-benchmarks (the sharding
+// contract), so records/sec is the only number that should move.
+func BenchmarkWorkloadSharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var records int
+			for i := 0; i < b.N; i++ {
+				agg := figures.NewAggregates()
+				res, err := core.RunStudyStream(core.StudyOptions{
+					Seed: 1, MaxUsers: 256, ClipCap: 2,
+					Workload: "poisson", Arrivals: 1000,
+					Shards: shards,
+				}, agg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if agg.Total() == 0 || res.Sessions == 0 {
+					b.Fatal("no open-loop records streamed")
+				}
+				records += agg.Total()
+			}
+			b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/sec")
+		})
+	}
+}

@@ -7,7 +7,7 @@
 //	      [-json trace.json] [-figure figNN | -figures] [-sites] [-timeline]
 //	      [-sweep NAME|list] [-parallel N] [-dynamics NAME|list] [-intensity K]
 //	      [-workload NAME|list] [-load K] [-arrivals N] [-selection NAME|list]
-//	      [-cpuprofile FILE] [-memprofile FILE]
+//	      [-shards N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
 // regenerates one figure; -figures all of them; -timeline runs the single-
@@ -35,6 +35,12 @@
 // end-to-end via -sweep. -intensity requires -dynamics, and the open-loop
 // knobs require -workload: a dependent flag without its governing flag is
 // an error, never a silent no-op.
+//
+// -shards N runs the open-loop world across N cores: hosts are partitioned
+// into per-shard event heaps synchronized with conservative lookahead, and
+// the records are byte-identical to the -shards 1 run of the same seed —
+// parallelism is an execution detail, never a result. Requires -workload;
+// incompatible with -dynamics and -selection leastloaded.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, so hot-path work
 // (the zero-allocation discrete-event core) can keep attacking the profile:
@@ -87,6 +93,7 @@ func main() {
 	load := flag.Float64("load", 0, "open-loop arrival intensity (0 = the calibrated 1x); requires -workload")
 	arrivals := flag.Int("arrivals", 0, "open-loop session budget (0 = twice the template pool); requires -workload")
 	selection := flag.String("selection", "", "open-loop server-selection policy: pinned, rtt, roundrobin, leastloaded (\"list\" to enumerate); requires -workload")
+	shards := flag.Int("shards", 0, "partition the world across N cores under conservative-lookahead synchronization (0 = classic single-threaded engine; output is byte-identical for every N); requires -workload")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -101,7 +108,7 @@ func main() {
 		fatalf("-intensity scales a dynamics profile; give -dynamics NAME (or -dynamics list)")
 	}
 	if *workloadName == "" && *selection != "list" {
-		for _, dep := range []string{"selection", "load", "arrivals"} {
+		for _, dep := range []string{"selection", "load", "arrivals", "shards"} {
 			if set[dep] {
 				fatalf("-%s configures the open-loop engine; give -workload NAME (or -workload list)", dep)
 			}
@@ -195,7 +202,7 @@ func main() {
 	opts := core.StudyOptions{Seed: *seed, MaxUsers: *users, ClipCap: *clips,
 		Dynamics: *dynamics, DynamicsIntensity: *intensity,
 		Workload: *workloadName, WorkloadIntensity: *load,
-		Arrivals: *arrivals, Selection: *selection}
+		Arrivals: *arrivals, Selection: *selection, Shards: *shards}
 	if *stream {
 		if *jsonOut != "" {
 			fatalf("-json needs the retained-records path; use -out for a streaming CSV")

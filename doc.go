@@ -65,6 +65,23 @@
 // campaign records must be byte-identical across worker counts (per-scenario
 // workload seeds derive from scenario names).
 //
+// One world can also span cores: study.Options.Shards partitions an
+// open-loop world across N shards under netsim.Fabric, a conservative
+// (Chandy–Misra–Bryant-style) parallel discrete-event engine. Each shard
+// owns a private clock, event heap, packet pool and RNG streams; the
+// lookahead is the minimum inter-region one-way delay, so each round every
+// shard runs events strictly below the global-minimum-plus-lookahead
+// horizon in parallel, and cross-shard packets park on per-pair outboxes
+// drained in fixed order between windows. Interning tables freeze at
+// build, per-path RNG streams are seeded by frozen endpoint IDs, and
+// wide-area payloads are snapshotted at the WAN edge, so for a fixed seed
+// the record stream is byte-identical for every shard count N >= 1
+// (TestShardEquivalence, run under -race in CI). Shards=0 remains the
+// classic zero-copy single-threaded engine and the default; the sharded
+// engine trades single-core overhead (copy-at-send, window barriers) for
+// multi-core wall-clock scaling (BENCH_pr7.json,
+// TestShardedWorkloadSpeedup).
+//
 // Entry points: internal/core (run the study via RunStudy, stream it into
 // mergeable figure aggregates via RunStudyAggregates, fan multi-scenario
 // sweeps across a worker pool via RunCampaign / RunCampaignAggregates,

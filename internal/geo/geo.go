@@ -485,6 +485,28 @@ func baseChar(a, b Region) pairChar {
 	return pairChar{owd: 80 * time.Millisecond, jitter: 20 * time.Millisecond, loss: 0.012, capKbps: 950, congestion: 0.26, congVar: 0.13}
 }
 
+// MinOneWayDelay returns the smallest one-way propagation delay any route
+// built from the region matrix can carry — the conservative-synchronization
+// lookahead for sharded execution (netsim.Fabric). Lemon-path draws degrade
+// capacity, loss and jitter but never shorten propagation, and the
+// unknown-host fallback route is slower than the matrix minimum, so this is
+// a true lower bound for every host pair. It is a property of the matrix
+// alone — independent of the population, the seed and the shard count —
+// which is what keeps lookahead-derived timestamps partition-invariant.
+func MinOneWayDelay() time.Duration {
+	regions := []Region{RegionNorthAmerica, RegionEurope, RegionAsia,
+		RegionAustralia, RegionSouthAmerica, RegionJapan}
+	min := time.Duration(0)
+	for _, a := range regions {
+		for _, b := range regions {
+			if owd := baseChar(a, b).owd; min == 0 || owd < min {
+				min = owd
+			}
+		}
+	}
+	return min
+}
+
 // badPathProb is the chance a given host pair's route is a lemon: a
 // persistently congested or misrouted path well below the regional norm.
 // The 2001 Internet had plenty — they are the broadband slideshows of

@@ -189,7 +189,7 @@ func TestDiurnalShape(t *testing.T) {
 	spec := &Dynamics{Events: []DynEvent{e}}
 	r := newRig(Route{CapacityKbps: 1000, CongestionMean: 0}, spec, 1)
 	// Probe the effective congestion addition directly via dynApply.
-	p := r.net.pathByName("src", "dst")
+	p := r.net.path(r.net.Intern("src"), r.net.Intern("dst"))
 	src, dst := r.net.hostByAddr("src:1"), r.net.hostByAddr("dst:1")
 	r.clock.RunUntil(15 * time.Minute) // quarter period: sin^2 = 0.5
 	eff := r.net.dynApply(p, src, dst)

@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestInspectionDoesNotIntern pins the read-only contract of the name-based
+// inspection APIs: probing a pair the network has never seen must not grow
+// the host table. These queries used to route through Intern, so a typo'd
+// or speculative probe permanently allocated a host ID — and enough of them
+// could push a world over the path-grid budget into overflow mode.
+func TestInspectionDoesNotIntern(t *testing.T) {
+	clock, n := newNet(Route{OneWayDelay: 40 * time.Millisecond, CongestionMean: 0.25})
+	hosts, interned := len(n.hostTab), len(n.ids)
+
+	// Known pair: the full answer, read-only.
+	if rtt := n.BaseRTT("a", "b"); rtt < 80*time.Millisecond {
+		t.Errorf("BaseRTT(a, b) = %v, want at least the 2x one-way delay", rtt)
+	}
+	// Never-seen names resolve to the zero route: access delays only for a
+	// known endpoint, zero for a pair of strangers — degraded answers, but
+	// no state is created to produce them.
+	if rtt := n.BaseRTT("phantom", "wraith"); rtt != 0 {
+		t.Errorf("BaseRTT(phantom, wraith) = %v, want 0", rtt)
+	}
+	if c := n.Congestion("a", "ghost"); c != 0 {
+		t.Errorf("Congestion(a, ghost) = %v, want the zero route's 0", c)
+	}
+	if c := n.Congestion("a", "b"); c != 0.25 {
+		t.Errorf("Congestion(a, b) = %v, want the calibrated mean 0.25", c)
+	}
+	if id := n.HostIDOf("ghost"); id != 0 {
+		t.Errorf("HostIDOf(ghost) = %d, want 0", id)
+	}
+
+	if len(n.hostTab) != hosts || len(n.ids) != interned {
+		t.Fatalf("inspection grew the host table: %d->%d hosts, %d->%d names",
+			hosts, len(n.hostTab), interned, len(n.ids))
+	}
+
+	// SetCongestionMean is the one deliberate mutator in the name-based
+	// API: installing path state for a pair is its whole job.
+	n.SetCongestionMean("a", "ghost", 0.9, 0)
+	if len(n.ids) != interned+1 {
+		t.Fatalf("SetCongestionMean did not intern its target: %d names, want %d",
+			len(n.ids), interned+1)
+	}
+	// With zero variance the AR(1) process converges deterministically
+	// toward the installed mean.
+	clock.RunUntil(5 * time.Second)
+	if c := n.Congestion("a", "ghost"); c <= 0.25 {
+		t.Errorf("Congestion after SetCongestionMean = %v, want a pull toward 0.9", c)
+	}
+}
+
+// internPast pushes the network's interned-name count beyond the path-grid
+// budget so the next structural operation sees overflow mode.
+func internPast(n *Network, count int) {
+	for i := 0; len(n.hostTab)-1 <= count; i++ {
+		n.Intern(fmt.Sprintf("filler%d", i))
+	}
+}
+
+// TestGridToOverflowMigration crosses the maxGridHosts boundary mid-run:
+// path state built on the grid (a bottleneck queue extending into the
+// future, a packet still in flight) must survive the migration to the map
+// fallback byte-for-byte, and traffic must keep flowing afterwards.
+func TestGridToOverflowMigration(t *testing.T) {
+	clock, n := newNet(Route{CapacityKbps: 100, OneWayDelay: 50 * time.Millisecond})
+	delivered := 0
+	n.Register("b:1", func(*Packet) { delivered++ })
+	for i := 0; i < 20; i++ {
+		n.Send(&Packet{From: "a:9", To: "b:1", Size: 1000})
+	}
+	p := n.path(n.Intern("a"), n.Intern("b"))
+	if p.busyUntil == 0 {
+		t.Fatal("bottleneck queue did not build up before migration")
+	}
+	busy := p.busyUntil
+
+	internPast(n, maxGridHosts)
+	if n.overflow == nil || n.grid != nil {
+		t.Fatalf("crossing %d hosts did not migrate the grid to overflow", maxGridHosts)
+	}
+	if got := n.pathLookup(n.Intern("a"), n.Intern("b")); got != p {
+		t.Fatalf("migration rebuilt the a->b path state (lost %v of queue)", busy)
+	}
+
+	clock.Run()
+	if delivered == 0 {
+		t.Fatal("no packet in flight across the migration was delivered")
+	}
+	// The network keeps working in overflow mode.
+	n.Send(&Packet{From: "a:9", To: "b:1", Size: 500})
+	clock.Run()
+	if _, del, _ := n.Stats(); del != uint64(delivered) {
+		t.Fatalf("post-migration delivery count skewed: stats %d vs handler %d", del, delivered)
+	}
+}
+
+// TestOverflowRemoveHostPurges is RemoveHost's overflow-mode mirror of
+// TestRemoveHostPurgesPathState: once the world has migrated off the grid,
+// detaching a host must still purge both directions of its path state, and
+// a host re-added under the same name must start fresh and reachable.
+func TestOverflowRemoveHostPurges(t *testing.T) {
+	clock, n := newNet(Route{CapacityKbps: 100})
+	internPast(n, maxGridHosts)
+	n.Register("b:1", func(*Packet) {})
+	for i := 0; i < 50; i++ {
+		n.Send(&Packet{From: "a:9", To: "b:1", Size: 1000})
+	}
+	n.Send(&Packet{From: "b:1", To: "a:9", Size: 1000})
+	if p := n.pathLookup(n.Intern("a"), n.Intern("b")); p == nil || p.busyUntil == 0 {
+		t.Fatal("bottleneck queue did not build up in overflow mode")
+	}
+	clock.Run()
+
+	n.RemoveHost("b")
+	if p := n.pathLookup(n.Intern("a"), n.Intern("b")); p != nil {
+		t.Fatal("RemoveHost left a->b overflow state behind")
+	}
+	if p := n.pathLookup(n.Intern("b"), n.Intern("a")); p != nil {
+		t.Fatal("RemoveHost left b->a overflow state behind")
+	}
+
+	n.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessT1LAN)})
+	got := 0
+	n.Register("b:1", func(*Packet) { got++ })
+	n.Send(&Packet{From: "a:9", To: "b:1", Size: 100})
+	clock.Run()
+	if got != 1 {
+		t.Fatalf("re-added host received %d packets, want 1", got)
+	}
+}
+
+// fabricRig builds a small sharded world: "a" on shard 0, "b" on the last
+// shard, both attached, frozen at a 25ms lookahead.
+func fabricRig(shards int, route Route) *Fabric {
+	fab := NewFabric(shards, StaticRoute(route), 42)
+	fab.AddHost(0, HostConfig{Name: "a", Access: DefaultAccessProfile(AccessServer)})
+	fab.AddHost(shards-1, HostConfig{Name: "b", Access: DefaultAccessProfile(AccessT1LAN)})
+	fab.Freeze(25 * time.Millisecond)
+	return fab
+}
+
+// TestFabricCrossShardDelivery is the fabric smoke test: packets sent from
+// one shard arrive on another, exactly once each, no earlier than the
+// one-way delay, with conserved counters.
+func TestFabricCrossShardDelivery(t *testing.T) {
+	fab := fabricRig(2, Route{OneWayDelay: 100 * time.Millisecond})
+	var got int
+	var last time.Duration
+	fab.Net(1).Register("b:1", func(p *Packet) {
+		got++
+		last = fab.Clock(1).Now()
+		if p.Payload != "ping" {
+			t.Errorf("payload %v did not survive transit", p.Payload)
+		}
+	})
+	const sends = 10
+	for i := 0; i < sends; i++ {
+		i := i
+		fab.Clock(0).After(time.Duration(i)*time.Millisecond, func() {
+			fab.Net(0).Send(&Packet{From: "a:9", To: "b:1", Size: 500, Payload: "ping"})
+		})
+	}
+	fab.Run(nil)
+	if got != sends {
+		t.Fatalf("delivered %d of %d cross-shard packets", got, sends)
+	}
+	if last < 100*time.Millisecond {
+		t.Fatalf("delivery at %v, before the one-way delay", last)
+	}
+	sent, delivered, dropped := fab.Stats()
+	if sent != sends || delivered != sends || dropped != 0 {
+		t.Fatalf("counters sent=%d delivered=%d dropped=%d, want %d/%d/0", sent, delivered, dropped, sends, sends)
+	}
+}
+
+// TestFabricShardCountInvariance pins the fabric's determinism contract at
+// the packet level: on a lossy, jittery route, per-packet delivery times
+// are identical whether the two hosts share a shard or not.
+func TestFabricShardCountInvariance(t *testing.T) {
+	route := Route{OneWayDelay: 60 * time.Millisecond, LossRate: 0.2, Jitter: 5 * time.Millisecond, CapacityKbps: 500}
+	times := func(shards int) []time.Duration {
+		fab := fabricRig(shards, route)
+		var out []time.Duration
+		fab.Net(shards-1).Register("b:1", func(*Packet) {
+			out = append(out, fab.Clock(shards-1).Now())
+		})
+		for i := 0; i < 200; i++ {
+			i := i
+			fab.Clock(0).After(time.Duration(i)*5*time.Millisecond, func() {
+				fab.Net(0).Send(&Packet{From: "a:9", To: "b:1", Size: 400, Payload: "x"})
+			})
+		}
+		fab.Run(nil)
+		return out
+	}
+	one, two := times(1), times(2)
+	if len(one) == 0 || len(one) == 200 {
+		t.Fatalf("degenerate loss outcome: %d of 200 delivered", len(one))
+	}
+	if len(one) != len(two) {
+		t.Fatalf("loss pattern depends on shard count: %d vs %d delivered", len(one), len(two))
+	}
+	for i := range one {
+		if one[i] != two[i] {
+			t.Fatalf("delivery %d at %v on one shard, %v on two", i, one[i], two[i])
+		}
+	}
+}

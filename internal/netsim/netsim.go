@@ -67,6 +67,11 @@ type Packet struct {
 
 	net    *Network // delivery context; set by Send
 	pooled bool     // came from the free-list; recycled after delivery/drop
+	// edge marks a sharded-mode packet scheduled at its WAN-edge arrival
+	// time: the destination access downlink has not been applied yet (the
+	// shard that owns the destination host does that — see Fabric). Always
+	// false on the classic single-shard path.
+	edge bool
 }
 
 // Fire implements simclock.EventHandler: a scheduled Packet delivers itself.
@@ -197,6 +202,13 @@ type pathState struct {
 	dynMatched bool
 	dynEvents  []int
 	ge         []geState
+
+	// rng is the path's private draw stream, used instead of the network's
+	// global rng in sharded mode: path draws are consumed in the source
+	// host's local event order, which is the same for every shard count, so
+	// loss/jitter/congestion outcomes cannot depend on the partition. Nil on
+	// the classic path.
+	rng *rand.Rand
 }
 
 // maxGridHosts bounds the flat pathState grid: beyond this many interned
@@ -227,6 +239,16 @@ type Network struct {
 
 	dyn *dynState // nil unless SetDynamics installed a schedule
 
+	// Sharded execution (fabric.go). fab is nil on the classic path. When a
+	// Network belongs to a Fabric it shares the frozen interning tables and
+	// the path grid with its sibling shards — every entry of those tables is
+	// touched by exactly one shard — and owns its clock, packet pool and
+	// draw streams privately.
+	fab      *Fabric
+	shardIdx int
+	frozen   bool  // interning closed: Intern of an unknown name panics
+	pathSeed int64 // base seed for the per-path draw streams
+
 	// Stats
 	sent, delivered, dropped uint64
 }
@@ -255,6 +277,13 @@ func New(clock *simclock.Clock, routes RouteTable, seed int64) *Network {
 func (n *Network) Intern(name string) HostID {
 	if id, ok := n.ids[name]; ok {
 		return id
+	}
+	if n.frozen {
+		// A frozen (sharded) network shares its interning tables across
+		// shards; growing them at runtime would race. Every host of a
+		// sharded world is interned at build time, so reaching this is a
+		// bug, not a capacity limit.
+		panic("netsim: Intern of unknown host " + name + " after freeze")
 	}
 	id := HostID(len(n.hostTab))
 	n.ids[name] = id
@@ -335,8 +364,15 @@ func (n *Network) RemoveHost(name string) {
 			for t := 0; t < n.stride; t++ {
 				n.grid[row+t] = nil
 			}
-			for f := 0; f < n.stride; f++ {
-				n.grid[f*n.stride+int(id)-1] = nil
+			// The column holds paths whose *source* is some other host. In
+			// sharded mode those entries belong to the source hosts' shards
+			// and purging them here would race; wide-area path state instead
+			// survives host churn uniformly across every shard count. The
+			// classic path keeps the full both-direction purge.
+			if n.fab == nil {
+				for f := 0; f < n.stride; f++ {
+					n.grid[f*n.stride+int(id)-1] = nil
+				}
 			}
 		}
 	}
@@ -398,6 +434,7 @@ func (n *Network) release(pkt *Packet) {
 	pkt.Size = 0
 	pkt.Payload = nil
 	pkt.net = nil
+	pkt.edge = false
 	n.free = append(n.free, pkt)
 }
 
@@ -426,10 +463,32 @@ func (n *Network) path(from, to HostID) *pathState {
 	return p
 }
 
-// pathByName resolves names (interning them) and returns the path state;
-// used by the name-based inspection APIs, not the packet path.
-func (n *Network) pathByName(from, to string) *pathState {
-	return n.path(n.Intern(from), n.Intern(to))
+// pathLookup returns the existing path state for an ordered pair, or nil.
+// Unlike path it never creates state, so inspection stays read-only.
+func (n *Network) pathLookup(from, to HostID) *pathState {
+	if from == 0 || to == 0 {
+		return nil
+	}
+	if n.overflow != nil {
+		return n.overflow[pairKey{from, to}]
+	}
+	if int(from) > n.stride || int(to) > n.stride {
+		return nil
+	}
+	return n.grid[(int(from)-1)*n.stride+(int(to)-1)]
+}
+
+// routeByName resolves the wide-area route between two host names without
+// creating or mutating any state: never-interned names get the zero Route
+// (a name the network has not seen has no route worth reporting), known
+// names resolve through the route table. Inspection queries used to intern
+// their arguments, permanently growing the host table — a typo'd probe
+// could even push a large world over the grid budget.
+func (n *Network) routeByName(from, to string) Route {
+	if n.HostIDOf(from) == 0 || n.HostIDOf(to) == 0 {
+		return Route{}
+	}
+	return n.routes.Route(from, to)
 }
 
 // forEachPath visits every existing pathState.
@@ -446,15 +505,30 @@ func (n *Network) forEachPath(fn func(*pathState)) {
 
 const congestionResample = time.Second
 
-// resampleCongestion advances the AR(1) cross-traffic process to now.
-func (n *Network) resampleCongestion(p *pathState) {
+// resampleCongestion advances the AR(1) cross-traffic process to now,
+// drawing innovations from rng (the global stream on the classic path, the
+// path-private stream in sharded mode).
+func (n *Network) resampleCongestion(p *pathState, rng *rand.Rand) {
 	now := n.Clock.Now()
 	for p.lastResample+congestionResample <= now {
 		p.lastResample += congestionResample
 		mean, sd := p.route.CongestionMean, p.route.CongestionVar
 		// AR(1) pull toward the mean with Gaussian innovation.
-		p.congestion = clamp01(p.congestion + 0.35*(mean-p.congestion) + n.rng.NormFloat64()*sd)
+		p.congestion = clamp01(p.congestion + 0.35*(mean-p.congestion) + rng.NormFloat64()*sd)
 	}
+}
+
+// pathRand returns the draw stream for a path in sharded mode, seeding it
+// on first use. The seed mixes the frozen endpoint IDs, which are identical
+// for every shard count (interning order is fixed at build), and draws are
+// consumed in the source host's local event order — also partition-
+// invariant — so the stream's outcomes cannot depend on how hosts were
+// split across shards.
+func (n *Network) pathRand(p *pathState, from, to HostID) *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(n.pathSeed ^ (int64(from)<<20 | int64(to))))
+	}
+	return p.rng
 }
 
 func clamp01(x float64) float64 {
@@ -485,17 +559,29 @@ func (n *Network) Send(pkt *Packet) {
 	if pkt.ToID == 0 {
 		pkt.ToID = n.ids[pkt.To.Host()]
 	}
-	dst := n.lookup(pkt.ToID)
-	if dst == nil {
-		n.dropped++
-		n.release(pkt)
-		return
+	var dst *host
+	if n.fab == nil {
+		// Classic path: the destination is resolved at send time so its
+		// downlink queue can be applied inline. In sharded mode the
+		// destination may belong to another shard; only the shard that owns
+		// it may touch it, at the packet's WAN-edge arrival time.
+		dst = n.lookup(pkt.ToID)
+		if dst == nil {
+			n.dropped++
+			n.release(pkt)
+			return
+		}
 	}
 	p := n.path(pkt.FromID, pkt.ToID)
-	n.resampleCongestion(p)
+	rng := n.rng
+	if n.fab != nil {
+		rng = n.pathRand(p, pkt.FromID, pkt.ToID)
+	}
+	n.resampleCongestion(p, rng)
 	// The dynamics layer (dynamics.go) folds every active scheduled event —
 	// outages, ramps, traffic profiles, loss bursts, delay shifts — into one
 	// effect. With no schedule installed this is inert and draw-free.
+	// (Sharded networks reject dynamics at Freeze, so dst == nil is safe.)
 	eff := n.dynApply(p, src, dst)
 	if eff.drop {
 		n.dropped++
@@ -520,7 +606,7 @@ func (n *Network) Send(pkt *Packet) {
 	// 2. Wide-area route: bottleneck service (if capacity-constrained by the
 	// route), propagation, random loss and jitter.
 	r := &p.route
-	if r.LossRate > 0 && n.rng.Float64() < r.LossRate {
+	if r.LossRate > 0 && rng.Float64() < r.LossRate {
 		n.dropped++
 		n.release(pkt)
 		return
@@ -550,7 +636,22 @@ func (n *Network) Send(pkt *Packet) {
 	}
 	t += r.OneWayDelay + eff.delayAdd
 	if r.Jitter > 0 {
-		t += time.Duration(n.rng.Float64() * float64(r.Jitter))
+		t += time.Duration(rng.Float64() * float64(r.Jitter))
+	}
+
+	if n.fab != nil {
+		// Sharded: t is the WAN-edge arrival, which is at least OneWayDelay
+		// — and therefore at least the fabric's lookahead — after now. Hand
+		// the packet to the shard that owns the destination; it applies the
+		// downlink queue at the edge time, in its own event order. The
+		// payload is snapshotted here (value semantics at the wire, like
+		// real serialization), so no shard ever reads memory another shard
+		// may still mutate, and a send's observable content is fixed at
+		// send time for every shard count.
+		pkt.Payload = CopyPayload(pkt.Payload)
+		pkt.edge = true
+		n.fab.forward(n.shardIdx, t, pkt)
+		return
 	}
 
 	// 3. Destination access link downlink: where modems actually hurt.
@@ -587,6 +688,27 @@ func (n *Network) deliver(pkt *Packet) {
 		n.release(pkt)
 		return
 	}
+	if pkt.edge {
+		// Sharded stage 3: the packet has just crossed the wide area and n
+		// is the shard that owns the destination. Apply the access downlink
+		// queue now — destination-local queue order is this shard's event
+		// order, identical for every partition — and reschedule the final
+		// delivery.
+		pkt.edge = false
+		t := n.Clock.Now()
+		bits := float64(pkt.Size) * 8
+		downRate := kbpsToBitsPerSec(hst.cfg.Access.DownKbps)
+		txDown := durationFromSeconds(bits / downRate)
+		arrive := maxDur(t, hst.downBusyUntil)
+		if arrive-t > hst.cfg.Access.QueueDelayMax {
+			n.dropped++
+			n.release(pkt)
+			return
+		}
+		hst.downBusyUntil = arrive + txDown
+		n.Clock.AtHandler(hst.downBusyUntil+hst.cfg.Access.BaseDelay, pkt)
+		return
+	}
 	h, ok := hst.handlers[pkt.To]
 	if !ok {
 		n.dropped++
@@ -606,12 +728,15 @@ func (n *Network) Attached(name string) bool {
 
 // BaseRTT returns the static round-trip estimate between two hosts: both
 // ends' access base delays plus the route's propagation delay in each
-// direction. It ignores queueing, jitter and cross-traffic and draws no
-// randomness, so server-selection probes cannot perturb a run — the
-// nearest-by-RTT policy ranks mirrors with it.
+// direction. It ignores queueing, jitter and cross-traffic, draws no
+// randomness and mutates nothing — not the host table, not the path grid —
+// so server-selection probes cannot perturb a run and cannot grow the
+// world. Never-interned names contribute the zero Route. In sharded mode
+// this read-only discipline is also what makes cross-shard selection
+// probes safe.
 func (n *Network) BaseRTT(from, to string) time.Duration {
-	a, b := n.lookup(n.ids[from]), n.lookup(n.ids[to])
-	rtt := n.pathByName(from, to).route.OneWayDelay + n.pathByName(to, from).route.OneWayDelay
+	a, b := n.lookup(n.HostIDOf(from)), n.lookup(n.HostIDOf(to))
+	rtt := n.routeByName(from, to).OneWayDelay + n.routeByName(to, from).OneWayDelay
 	if a != nil {
 		rtt += 2 * a.cfg.Access.BaseDelay
 	}
@@ -622,19 +747,30 @@ func (n *Network) BaseRTT(from, to string) time.Duration {
 }
 
 // Congestion returns the current cross-traffic level on the ordered path
-// from -> to (creating path state if needed). Exposed for tests and the
-// adaptation example.
+// from -> to. A path that has carried traffic reports its live AR(1) state
+// (advanced to now); a pair with no path state yet — including never-seen
+// names — reports the route's static mean without creating anything.
+// Exposed for tests and the adaptation example.
 func (n *Network) Congestion(from, to string) float64 {
-	p := n.pathByName(from, to)
-	n.resampleCongestion(p)
+	p := n.pathLookup(n.HostIDOf(from), n.HostIDOf(to))
+	if p == nil {
+		return clamp01(n.routeByName(from, to).CongestionMean)
+	}
+	rng := n.rng
+	if n.fab != nil {
+		rng = n.pathRand(p, n.HostIDOf(from), n.HostIDOf(to))
+	}
+	n.resampleCongestion(p, rng)
 	return p.congestion
 }
 
 // SetCongestionMean overrides the cross-traffic mean for the ordered pair,
 // taking effect from the current virtual time. Used by the congestion and
-// adaptation examples to create a mid-clip congestion epoch.
+// adaptation examples to create a mid-clip congestion epoch. Unlike the
+// inspection APIs this is a deliberate mutator: it interns its arguments
+// and creates path state, because the override must persist.
 func (n *Network) SetCongestionMean(from, to string, mean, variance float64) {
-	p := n.pathByName(from, to)
+	p := n.path(n.Intern(from), n.Intern(to))
 	p.route.CongestionMean = mean
 	p.route.CongestionVar = variance
 }

@@ -233,7 +233,7 @@ func TestRemoveHostPurgesPathState(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		n.Send(&Packet{From: "a:9", To: "b:1", Size: 1000})
 	}
-	p := n.pathByName("a", "b")
+	p := n.path(n.Intern("a"), n.Intern("b"))
 	if p.busyUntil == 0 {
 		t.Fatal("bottleneck queue did not build up")
 	}
@@ -243,10 +243,10 @@ func TestRemoveHostPurgesPathState(t *testing.T) {
 
 	n.RemoveHost("b")
 	n.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessT1LAN)})
-	if got := n.pathByName("a", "b").busyUntil; got != 0 {
+	if got := n.path(n.Intern("a"), n.Intern("b")).busyUntil; got != 0 {
 		t.Fatalf("re-added host inherited a->b busyUntil=%v, want fresh state", got)
 	}
-	if got := n.pathByName("b", "a").busyUntil; got != 0 {
+	if got := n.path(n.Intern("b"), n.Intern("a")).busyUntil; got != 0 {
 		t.Fatalf("re-added host inherited b->a busyUntil=%v, want fresh state", got)
 	}
 	// The re-added host must receive traffic normally (same interned ID).

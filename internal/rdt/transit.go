@@ -1,0 +1,39 @@
+package rdt
+
+// TransitCopy returns a deep snapshot of the packet for shard transit
+// (netsim.Transferable, matched structurally). RDT packets in the simulator
+// are arena-backed and rewritten in place across cells, so a packet crossing
+// a shard boundary must carry its own copy of the active variant and every
+// slice it references.
+func (p *Packet) TransitCopy() any {
+	cp := *p
+	if p.Data != nil {
+		d := *p.Data
+		d.Payload = append([]byte(nil), p.Data.Payload...)
+		cp.Data = &d
+	}
+	if p.Report != nil {
+		r := *p.Report
+		cp.Report = &r
+	}
+	if p.Repair != nil {
+		r := *p.Repair
+		r.Meta = append([]RepairMeta(nil), p.Repair.Meta...)
+		r.Parity = append([]byte(nil), p.Repair.Parity...)
+		cp.Repair = &r
+	}
+	if p.BufferState != nil {
+		b := *p.BufferState
+		cp.BufferState = &b
+	}
+	if p.EOS != nil {
+		e := *p.EOS
+		cp.EOS = &e
+	}
+	if p.Nack != nil {
+		n := *p.Nack
+		n.Seqs = append([]uint32(nil), p.Nack.Seqs...)
+		cp.Nack = &n
+	}
+	return &cp
+}

@@ -1,0 +1,18 @@
+package rtsp
+
+// TransitCopy returns a deep snapshot of the message for shard transit
+// (netsim.Transferable, matched structurally): the header map and body are
+// copied so the receiver shares no mutable memory with the sender.
+func (m *Message) TransitCopy() any {
+	cp := *m
+	if m.Header != nil {
+		cp.Header = make(map[string]string, len(m.Header))
+		for k, v := range m.Header {
+			cp.Header[k] = v
+		}
+	}
+	if m.Body != nil {
+		cp.Body = append([]byte(nil), m.Body...)
+	}
+	return &cp
+}

@@ -155,6 +155,14 @@ type DataHello struct {
 	SessionID string
 }
 
+// TransitCopy returns a snapshot for shard transit (netsim.Transferable,
+// matched structurally). The hello is immutable in practice; the copy keeps
+// the value-semantics-at-the-wire contract uniform.
+func (h *DataHello) TransitCopy() any {
+	cp := *h
+	return &cp
+}
+
 // Codec is the combined wire codec for live-socket mode: a one-byte channel
 // tag followed by the channel's own encoding.
 type Codec struct{}

@@ -246,6 +246,39 @@ func (c *Clock) RunUntil(t time.Duration) {
 // RunFor executes events within the next d of virtual time.
 func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.now + d) }
 
+// NextAt returns the timestamp of the earliest pending live event, reaping
+// cancelled events off the top of the heap on the way. ok is false when
+// nothing (live) is pending. The shard scheduler uses it to compute the
+// global minimum next-event time between conservative windows.
+func (c *Clock) NextAt() (t time.Duration, ok bool) {
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.off {
+			c.release(c.pop())
+			continue
+		}
+		return next.At, true
+	}
+	return 0, false
+}
+
+// RunBefore executes every event with a timestamp strictly below h, leaving
+// later events pending. Unlike RunUntil it neither runs events exactly at
+// the horizon nor advances Now to it: the clock rests at the last executed
+// event, ready for the next window. It is the per-shard half of the
+// conservative synchronization protocol (see netsim.Fabric) — a shard may
+// safely run [T, T+lookahead) in parallel with its peers because no event
+// executed elsewhere in that window can schedule new work below the horizon.
+func (c *Clock) RunBefore(h time.Duration) {
+	for {
+		t, ok := c.NextAt()
+		if !ok || t >= h {
+			return
+		}
+		c.Step()
+	}
+}
+
 // MaxDuration is a run horizon that effectively means "forever".
 const MaxDuration = time.Duration(math.MaxInt64)
 

@@ -39,7 +39,7 @@ func TestSessionChurnAllocBudget(t *testing.T) {
 	var observed int
 	w.SetSink(trace.SinkFunc(func(*trace.Record) { observed++ }))
 
-	o := w.open
+	o := w.open.cells[0] // the classic engine runs a single arrival cell
 	completed := func() int { return o.sessions - o.active }
 	runSessions := func(n int) {
 		for target := completed() + n; completed() < target; {
@@ -113,7 +113,7 @@ func TestOpenLoopBundlesAreReused(t *testing.T) {
 		t.Fatal(err)
 	}
 	built := 0
-	for _, b := range w.open.bundles {
+	for _, b := range w.open.cells[0].bundles {
 		if b == nil {
 			continue
 		}

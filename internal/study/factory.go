@@ -6,6 +6,7 @@ import (
 	"realtracer/internal/geo"
 	"realtracer/internal/netsim"
 	"realtracer/internal/session"
+	"realtracer/internal/simclock"
 	"realtracer/internal/trace"
 	"realtracer/internal/tracer"
 	"realtracer/internal/transport"
@@ -19,8 +20,19 @@ import (
 // once per arrival on the simclock. Both paths share the same attach /
 // tracer construction, so a clip played under either mode is measured
 // identically.
+//
+// A sharded world builds one factory per shard, each bound to its shard's
+// clock, Network and record sink, so every session a shard owns touches
+// only that shard's mutable state.
 type SessionFactory struct {
-	w *World
+	w     *World
+	clock *simclock.Clock
+	net   *netsim.Network
+	// sink, when non-nil, overrides the world sink: a sharded factory
+	// collects its shard's records locally (merged deterministically after
+	// the run). Nil routes through w.sink, which SetSink may replace after
+	// the factory is built.
+	sink trace.Sink
 	// dynLabel and policyLabel are the world-constant condition labels
 	// stamped on every record (stamping from one string instead of
 	// reformatting per record).
@@ -41,14 +53,18 @@ func (f *SessionFactory) attach(u *geo.User, rng *rand.Rand) {
 		access.DownKbps = u.ModemKbps * 0.9
 		access.UpKbps = 22 + rng.Float64()*9
 	}
-	f.w.Net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
+	f.net.AddHost(netsim.HostConfig{Name: u.Name, Access: access})
 }
 
 // observe stamps the world-constant condition labels on a record and hands
-// it to the world's sink — the default OnRecord path.
+// it to the factory's sink — the default OnRecord path.
 func (f *SessionFactory) observe(rec *trace.Record) {
 	rec.Dynamics = f.dynLabel
 	rec.Policy = f.policyLabel
+	if f.sink != nil {
+		f.sink.Observe(rec)
+		return
+	}
 	f.w.sink.Observe(rec)
 }
 
@@ -67,11 +83,13 @@ func (f *SessionFactory) newTracer(u *geo.User, rng *rand.Rand, playlist []trace
 // RNG, rater and lifecycle hooks — is created once here and survives every
 // session the bundle serves; per-session state (the playlist) is installed
 // by Tracer.Reset on each arrival. Record storage is reused across clips
-// exactly when the world's sink does not retain records.
+// exactly when nothing downstream retains records: a world collector or a
+// per-shard sink both hold on to the pointer past the clip.
 func (f *SessionFactory) bundleTracer(u *geo.User, rng *rand.Rand,
 	selectServer func(tracer.Entry) tracer.Entry,
 	onRecord func(*trace.Record), onFinished func()) *tracer.Tracer {
-	return tracer.New(f.config(u, rng, nil, selectServer, onRecord, onFinished, f.w.collector == nil))
+	reuse := f.w.collector == nil && f.sink == nil
+	return tracer.New(f.config(u, rng, nil, selectServer, onRecord, onFinished, reuse))
 }
 
 // config assembles one tracer.Config. The transport stack created here is
@@ -83,8 +101,8 @@ func (f *SessionFactory) config(u *geo.User, rng *rand.Rand, playlist []tracer.E
 	onRecord func(*trace.Record), onFinished func(), reuseRecord bool) tracer.Config {
 	rater := newRater(u, rng)
 	return tracer.Config{
-		Clock:        vclock.Sim{C: f.w.Clock},
-		Net:          session.SimNet{Stack: transport.NewStack(f.w.Net, u.Name)},
+		Clock:        vclock.Sim{C: f.clock},
+		Net:          session.SimNet{Stack: transport.NewStack(f.net, u.Name)},
 		User:         u,
 		Playlist:     playlist,
 		PlayFor:      f.w.Options.PlayFor,

@@ -2,6 +2,7 @@ package study
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -11,12 +12,70 @@ import (
 	"realtracer/internal/workload"
 )
 
-// openLoop is the workload generator's run state: the resolved arrival
-// spec, the selection policy, the template pool occupancy, and the session
-// accounting Run's termination condition watches.
+// openLoop is the workload generator's run state: one or more arrival
+// cells, each owning a disjoint slice of the template pool and a private
+// arrival stream. The classic single-threaded world runs exactly one cell
+// over the whole pool — byte-identical to the pre-cell engine. A sharded
+// world runs one cell per user block, pinned to the shard that owns the
+// block's hosts, and relies on Poisson splitting to keep the aggregate
+// arrival process identical in distribution.
 type openLoop struct {
-	spec   workload.Spec
-	policy workload.Policy // nil = pinned: no per-clip selection step
+	cells []*arrivalCell
+}
+
+func (o *openLoop) pending() int {
+	n := 0
+	for _, c := range o.cells {
+		n += c.arrivalsLeft
+	}
+	return n
+}
+
+func (o *openLoop) activeN() int {
+	n := 0
+	for _, c := range o.cells {
+		n += c.active
+	}
+	return n
+}
+
+func (o *openLoop) sessionsN() int {
+	n := 0
+	for _, c := range o.cells {
+		n += c.sessions
+	}
+	return n
+}
+
+func (o *openLoop) balkedN() int {
+	n := 0
+	for _, c := range o.cells {
+		n += c.balked
+	}
+	return n
+}
+
+func (o *openLoop) departedN() int {
+	n := 0
+	for _, c := range o.cells {
+		n += c.departed
+	}
+	return n
+}
+
+// arrivalCell is one arrival stream over a disjoint slice of the template
+// pool: the (possibly split) arrival spec, the selection policy instance,
+// the cell's private RNG, the occupancy of its members, and the session
+// accounting the run's termination condition sums. Everything a cell
+// mutates at runtime belongs to its shard, so cells never race.
+type arrivalCell struct {
+	w     *World
+	shard int // -1 = classic single-threaded world
+	spec  workload.Spec
+	// policy is this cell's private selection-policy instance (stateful
+	// policies like round-robin advance per cell); nil = pinned, no
+	// per-clip selection step.
+	policy workload.Policy
 	rng    *rand.Rand
 
 	arrivalsLeft int
@@ -25,16 +84,19 @@ type openLoop struct {
 	balked       int
 	departed     int
 
-	busy   []bool // template pool occupancy, indexed like World.Users
-	cursor int    // round-robin template scan position
+	members []int  // indices into World.Users this cell owns
+	busy    []bool // template occupancy, indexed like members
+	cursor  int    // round-robin template scan position
 
 	// bundles are the per-template session machinery, built on a
 	// template's first arrival and reused for every arrival after it —
 	// the free-list behind the zero-allocation session lifecycle.
 	bundles []*sessionBundle
 
-	cands []workload.Candidate // per-pick scratch (single-threaded world)
+	cands []workload.Candidate // per-pick scratch (single-owner state)
 }
+
+func (c *arrivalCell) clock() *simclock.Clock { return c.w.clockFor(c.shard) }
 
 // sessionClipCycle is the nominal wall time one clip occupies: playout
 // plus the inter-clip think/rating pause. Arrival-rate calibration and
@@ -43,97 +105,134 @@ func sessionClipCycle(opt Options) time.Duration {
 	return opt.PlayFor + 8*time.Second
 }
 
-// startWorkload resolves the options into a workload spec and selection
-// policy and schedules the first arrival. The arrival rate is calibrated
-// so steady-state expected concurrency sits at ~40% of the template pool
-// at 1x intensity: rate = 0.4·pool / E[session duration].
-func (w *World) startWorkload() error {
+// resolveWorkloadSpec resolves the options into the full-pool workload
+// spec, the selection-policy name, and the arrival-stream seed. The rate
+// is calibrated so steady-state expected concurrency sits at ~40% of the
+// template pool at 1x intensity: rate = 0.4·pool / E[session duration].
+// Degenerate calibrations — an empty pool, a rate that is zero or
+// infinite — are hard errors here, before the first NextGap draw could
+// turn them into undefined float→int64 arithmetic.
+func (w *World) resolveWorkloadSpec() (workload.Spec, string, int64, error) {
 	opt := w.Options
 	prof, ok := workload.ProfileByName(opt.Workload)
 	if !ok {
-		return fmt.Errorf("study: unknown workload profile %q", opt.Workload)
+		return workload.Spec{}, "", 0, fmt.Errorf("study: unknown workload profile %q", opt.Workload)
 	}
 	polName := opt.PolicyLabel()
-	pol, ok := workload.PolicyByName(polName)
-	if !ok {
-		return fmt.Errorf("study: unknown selection policy %q", polName)
+	if _, ok := workload.PolicyByName(polName); !ok {
+		return workload.Spec{}, "", 0, fmt.Errorf("study: unknown selection policy %q", polName)
 	}
-	if _, pinned := pol.(workload.Pinned); pinned {
-		// Pinned is the identity selection; skip the per-clip probe work.
-		pol = nil
+	pool := len(w.Users)
+	if pool == 0 {
+		return workload.Spec{}, "", 0, fmt.Errorf("study: open-loop workload needs a non-empty template pool")
 	}
 
 	k := opt.WorkloadIntensity
 	if k == 0 {
 		k = 1
 	}
-	pool := len(w.Users)
 	meanClips := 4.0
 	if opt.ClipCap > 0 && float64(opt.ClipCap) < meanClips {
 		meanClips = float64(opt.ClipCap)
 	}
 	sessDur := time.Duration(meanClips * float64(sessionClipCycle(opt)))
 	rate := k * 0.4 * float64(pool) / sessDur.Seconds()
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return workload.Spec{}, "", 0, fmt.Errorf("study: workload calibration produced a degenerate arrival rate %v (pool %d, intensity %g)", rate, pool, k)
+	}
 	horizon := time.Duration(float64(opt.Arrivals) / rate * float64(time.Second))
 	spec := prof.Build(rate, horizon)
 	spec.MaxClips = opt.ClipCap
+	if !(spec.MaxRate > 0) || math.IsInf(spec.MaxRate, 1) {
+		return workload.Spec{}, "", 0, fmt.Errorf("study: workload profile %q resolved a degenerate MaxRate %v", opt.Workload, spec.MaxRate)
+	}
 
 	seed := opt.WorkloadSeed
 	if seed == 0 {
 		seed = opt.Seed + 5
 	}
-	w.open = &openLoop{
+	return spec, polName, seed, nil
+}
+
+// policyInstance builds a fresh selection-policy instance, mapping pinned
+// (the identity selection) to nil so the per-clip probe is skipped.
+func policyInstance(name string) workload.Policy {
+	pol, _ := workload.PolicyByName(name)
+	if _, pinned := pol.(workload.Pinned); pinned {
+		return nil
+	}
+	return pol
+}
+
+// startWorkload builds the classic single-cell workload generator and
+// schedules its first arrival: one arrival stream over the whole template
+// pool, drawing from the legacy seed in the legacy order.
+func (w *World) startWorkload() error {
+	spec, polName, seed, err := w.resolveWorkloadSpec()
+	if err != nil {
+		return err
+	}
+	pool := len(w.Users)
+	members := make([]int, pool)
+	for i := range members {
+		members[i] = i
+	}
+	c := &arrivalCell{
+		w:            w,
+		shard:        -1,
 		spec:         spec,
-		policy:       pol,
+		policy:       policyInstance(polName),
 		rng:          rand.New(rand.NewSource(seed)),
-		arrivalsLeft: opt.Arrivals,
+		arrivalsLeft: w.Options.Arrivals,
+		members:      members,
 		busy:         make([]bool, pool),
 		bundles:      make([]*sessionBundle, pool),
 	}
-	w.scheduleArrival()
+	w.open = &openLoop{cells: []*arrivalCell{c}}
+	c.scheduleArrival()
 	return nil
 }
 
 // arriveArm is the pooled handler behind every arrival event: a
-// pointer-conversion view of World, so sustaining the arrival train
+// pointer-conversion view of the cell, so sustaining the arrival train
 // schedules nothing but recycled clock events.
-type arriveArm World
+type arriveArm arrivalCell
 
-func (x *arriveArm) Fire(time.Duration) { (*World)(x).arrive() }
+func (x *arriveArm) Fire(time.Duration) { (*arrivalCell)(x).arrive() }
 
 // scheduleArrival draws the next inter-arrival gap and schedules the
 // arrival; the generator sustains itself one event at a time instead of
 // pre-scheduling the whole arrival train.
-func (w *World) scheduleArrival() {
-	if w.open.arrivalsLeft <= 0 {
+func (c *arrivalCell) scheduleArrival() {
+	if c.arrivalsLeft <= 0 {
 		return
 	}
-	gap := w.open.spec.NextGap(w.Clock.Now(), w.open.rng)
-	w.Clock.AfterHandler(gap, (*arriveArm)(w))
+	clk := c.clock()
+	gap := c.spec.NextGap(clk.Now(), c.rng)
+	clk.AfterHandler(gap, (*arriveArm)(c))
 }
 
-// arrive admits one session: pick an idle user template (round-robin scan,
-// so re-arrivals rotate through the pool), launch it, and schedule the
-// next arrival. When every template is busy the arrival balks — the open
-// population turned someone away.
-func (w *World) arrive() {
-	o := w.open
-	o.arrivalsLeft--
-	idx := -1
-	for i := 0; i < len(o.busy); i++ {
-		j := (o.cursor + i) % len(o.busy)
-		if !o.busy[j] {
-			idx = j
+// arrive admits one session: pick an idle member template (round-robin
+// scan, so re-arrivals rotate through the cell), launch it, and schedule
+// the next arrival. When every template is busy the arrival balks — the
+// open population turned someone away.
+func (c *arrivalCell) arrive() {
+	c.arrivalsLeft--
+	mi := -1
+	for i := 0; i < len(c.busy); i++ {
+		j := (c.cursor + i) % len(c.busy)
+		if !c.busy[j] {
+			mi = j
 			break
 		}
 	}
-	if idx < 0 {
-		o.balked++
+	if mi < 0 {
+		c.balked++
 	} else {
-		o.cursor = idx + 1
-		w.launchSession(idx)
+		c.cursor = mi + 1
+		c.launchSession(mi)
 	}
-	w.scheduleArrival()
+	c.scheduleArrival()
 }
 
 // sessionBundle is one template's reusable session machinery: the tracer
@@ -145,8 +244,9 @@ func (w *World) arrive() {
 // the tracer walking off the end of its drawn playlist, depart is the
 // mid-stream hangup that tears the host out from under in-flight packets.
 type sessionBundle struct {
-	w   *World
-	idx int
+	cell *arrivalCell
+	mi   int // index into cell.members/busy/bundles
+	idx  int // index into World.Users
 
 	rng      *rand.Rand
 	tr       *tracer.Tracer
@@ -156,6 +256,10 @@ type sessionBundle struct {
 	departTimer simclock.Timer
 	done        bool
 	departed    bool
+
+	// drops are the pooled cross-shard DropClient handlers, one per
+	// server, built on the bundle's first sharded departure.
+	drops []*dropArm
 }
 
 // departArm is the pooled handler for the mid-stream departure deadline.
@@ -166,10 +270,12 @@ func (x *departArm) Fire(time.Duration) { (*sessionBundle)(x).depart() }
 // newBundle builds a template's bundle on its first arrival. The bound
 // method values and the selection closure here are the bundle's only
 // closure allocations, paid once per template for the run's lifetime.
-func (w *World) newBundle(idx int, seed int64) *sessionBundle {
+func (c *arrivalCell) newBundle(mi int, seed int64) *sessionBundle {
+	w := c.w
+	idx := c.members[mi]
 	u := w.Users[idx]
-	b := &sessionBundle{w: w, idx: idx, rng: rand.New(rand.NewSource(seed))}
-	b.tr = w.factory.bundleTracer(u, b.rng, w.selectFor(u.Name), b.onRecord, b.finish)
+	b := &sessionBundle{cell: c, mi: mi, idx: idx, rng: rand.New(rand.NewSource(seed))}
+	b.tr = w.factoryFor(c.shard).bundleTracer(u, b.rng, c.selectFor(u.Name), b.onRecord, b.finish)
 	return b
 }
 
@@ -179,58 +285,66 @@ func (w *World) newBundle(idx int, seed int64) *sessionBundle {
 // and starts the tracer now. Reseeding the pooled RNG reproduces the
 // exact draw stream a freshly-constructed RNG would give, so the records
 // are byte-identical to the unpooled lifecycle's.
-func (w *World) launchSession(idx int) {
-	o := w.open
+func (c *arrivalCell) launchSession(mi int) {
+	w := c.w
+	idx := c.members[mi]
 	u := w.Users[idx]
-	o.busy[idx] = true
-	o.active++
-	o.sessions++
+	c.busy[mi] = true
+	c.active++
+	c.sessions++
 
-	seed := o.rng.Int63()
-	b := o.bundles[idx]
+	seed := c.rng.Int63()
+	b := c.bundles[mi]
 	if b == nil {
-		b = w.newBundle(idx, seed)
-		o.bundles[idx] = b
+		b = c.newBundle(mi, seed)
+		c.bundles[mi] = b
 	} else {
 		b.rng.Seed(seed)
 	}
 	b.done, b.departed = false, false
 
-	plan := o.spec.NextPlanInto(b.rng, len(w.Playlist), sessionClipCycle(w.Options), b.clips)
+	plan := c.spec.NextPlanInto(b.rng, len(w.Playlist), sessionClipCycle(w.Options), b.clips)
 	b.clips = plan.Clips // keep the grown scratch for the next arrival
 	b.playlist = b.playlist[:0]
-	for _, c := range plan.Clips {
-		b.playlist = append(b.playlist, w.Playlist[c])
+	for _, ci := range plan.Clips {
+		b.playlist = append(b.playlist, w.Playlist[ci])
 	}
-	w.factory.attach(u, b.rng)
+	w.factoryFor(c.shard).attach(u, b.rng)
 	b.tr.Reset(b.playlist)
 	b.departTimer = simclock.Timer{}
 	if plan.DepartAfter > 0 {
-		b.departTimer = w.Clock.AfterHandler(plan.DepartAfter, (*departArm)(b))
+		b.departTimer = c.clock().AfterHandler(plan.DepartAfter, (*departArm)(b))
 	}
 	b.tr.Run()
 }
 
 // selectFor builds the per-clip selection hook for one session: probe
-// every mirror (static RTT estimate plus the server's live session count)
-// and re-home the entry to the policy's pick. Nil under pinned.
-func (w *World) selectFor(userName string) func(tracer.Entry) tracer.Entry {
-	o := w.open
-	if o.policy == nil {
+// every mirror (static RTT estimate plus — on the single-threaded engine —
+// the server's live session count) and re-home the entry to the policy's
+// pick. Nil under pinned. A sharded cell probes with Load 0: the live
+// ActiveSessions counter belongs to the server's own shard, and validate
+// already rejects the one policy ("leastloaded") that reads it.
+func (c *arrivalCell) selectFor(userName string) func(tracer.Entry) tracer.Entry {
+	if c.policy == nil {
 		return nil
 	}
+	w := c.w
 	return func(e tracer.Entry) tracer.Entry {
-		cands := o.cands[:0]
+		cands := c.cands[:0]
 		for i, site := range w.ActiveSites {
+			load := 0
+			if c.shard < 0 {
+				load = w.Servers[i].ActiveSessions()
+			}
 			cands = append(cands, workload.Candidate{
 				Host: site.Host,
 				Home: site.Host == e.Site.Host,
-				RTT:  w.Net.BaseRTT(userName, site.Host),
-				Load: w.Servers[i].ActiveSessions(),
+				RTT:  w.netFor(c.shard).BaseRTT(userName, site.Host),
+				Load: load,
 			})
 		}
-		o.cands = cands // keep the grown scratch for the next pick
-		pick := o.policy.Pick(userName, cands)
+		c.cands = cands // keep the grown scratch for the next pick
+		pick := c.policy.Pick(userName, cands)
 		site := w.ActiveSites[pick]
 		if site.Host == e.Site.Host {
 			return e
@@ -241,14 +355,17 @@ func (w *World) selectFor(userName string) func(tracer.Entry) tracer.Entry {
 	}
 }
 
-// replaceHost swaps the host component of a "host:port" address.
+// replaceHost swaps the host component of a "host:port" address. Every
+// control address the study layer builds carries an explicit port; an
+// address without one would silently re-home the session to a portless —
+// undialable — string, so it is a bug in the caller, not an input.
 func replaceHost(addr, host string) string {
 	for i := len(addr) - 1; i >= 0; i-- {
 		if addr[i] == ':' {
 			return host + addr[i:]
 		}
 	}
-	return host
+	panic(fmt.Sprintf("study: control address %q has no port", addr))
 }
 
 // onRecord forwards a completed clip's record to the sink, unless the user
@@ -258,7 +375,8 @@ func (b *sessionBundle) onRecord(rec *trace.Record) {
 	if b.departed {
 		return
 	}
-	b.w.factory.observe(rec)
+	c := b.cell
+	c.w.factoryFor(c.shard).observe(rec)
 }
 
 // finish is the tracer's natural end of session.
@@ -268,7 +386,7 @@ func (b *sessionBundle) finish() {
 	}
 	b.done = true
 	b.departTimer.Cancel()
-	b.w.endSession(b.idx)
+	b.cell.endSession(b)
 }
 
 // depart is the mid-stream hangup: stop the playlist walk, then tear the
@@ -287,8 +405,8 @@ func (b *sessionBundle) depart() {
 	}
 	b.done, b.departed = true, true
 	b.tr.Stop()
-	b.w.open.departed++
-	b.w.endSession(b.idx)
+	b.cell.departed++
+	b.cell.endSession(b)
 	b.tr.Abort()
 }
 
@@ -297,12 +415,50 @@ func (b *sessionBundle) depart() {
 // otherwise pace at the dead address forever and permanently inflate the
 // least-loaded policy's ActiveSessions probe), and frees the template for
 // the next arrival under the same name.
-func (w *World) endSession(idx int) {
-	name := w.Users[idx].Name
-	w.Net.RemoveHost(name)
-	for _, srv := range w.Servers {
-		srv.DropClient(name)
+//
+// On the classic engine all of that is synchronous. A sharded cell owns
+// only its own shard: the host is removed locally, but each server's
+// DropClient is posted to the server's shard at now+L (the soonest a
+// cross-shard message may land), and the template stays busy until now+2L.
+// The delay makes the teardown race-free by timing alone: a re-arrival of
+// the same template happens at T+2L or later, so its first packet reaches
+// any server no earlier than T+3L — strictly after the T+L drop — and the
+// drop can never reap the successor session's server-side state. All three
+// timestamps are partition-invariant because L is computed from the route
+// table, never from the partition.
+func (c *arrivalCell) endSession(b *sessionBundle) {
+	w := c.w
+	name := w.Users[b.idx].Name
+	if c.shard < 0 {
+		w.Net.RemoveHost(name)
+		for _, srv := range w.Servers {
+			srv.DropClient(name)
+		}
+		c.busy[b.mi] = false
+		c.active--
+		return
 	}
-	w.open.busy[idx] = false
-	w.open.active--
+	w.netFor(c.shard).RemoveHost(name)
+	c.active--
+	now := c.clock().Now()
+	L := w.fab.Lookahead()
+	if b.drops == nil {
+		b.drops = make([]*dropArm, 0, len(w.Servers))
+		for _, srv := range w.Servers {
+			b.drops = append(b.drops, &dropArm{srv: srv, name: name})
+		}
+	}
+	for si, d := range b.drops {
+		w.fab.Post(c.shard, w.siteShard(si), now+L, d)
+	}
+	c.clock().AfterHandler(2*L, (*freeArm)(b))
+}
+
+// freeArm is the pooled handler that returns a sharded template to the
+// idle pool at departure+2L (see endSession).
+type freeArm sessionBundle
+
+func (x *freeArm) Fire(time.Duration) {
+	b := (*sessionBundle)(x)
+	b.cell.busy[b.mi] = false
 }

@@ -1,0 +1,255 @@
+// Sharded world construction and execution: Options.Shards > 0 partitions
+// one world's hosts across N netsim.Fabric shards and runs them in
+// parallel under conservative-lookahead windows. The contract is the
+// fabric's: for a fixed seed, the merged record stream is byte-identical
+// for every shard count N >= 1.
+//
+// The study layer's own contribution to that contract is the arrival-cell
+// partition. Users are grouped into cells — country blocks of at most
+// cellBlockSize templates — BEFORE any shard assignment, so the cell set,
+// each cell's spec (the full arrival process Poisson-split by member
+// share), its RNG stream and its arrival budget are all independent of N.
+// Changing N only re-packs whole cells onto shards; nothing a cell draws,
+// schedules or observes moves. Records are buffered per shard and merged
+// in (EndSec, StartSec, User, ClipURL) order after the run.
+package study
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"realtracer/internal/geo"
+	"realtracer/internal/netsim"
+	"realtracer/internal/server"
+	"realtracer/internal/trace"
+	"realtracer/internal/workload"
+)
+
+// cellBlockSize caps an arrival cell's template count. Small cells exist
+// purely for load balance: the US holds 38 of 63 templates, and splitting
+// its block lets the packer spread the dominant country across shards.
+const cellBlockSize = 8
+
+// buildSharded is NewWorld's Shards > 0 tail: fabric up, hosts interned
+// into their owning shards, interning frozen, servers started on their
+// shards, per-shard factories and sinks built, and every cell's first
+// arrival scheduled.
+func (w *World) buildSharded(routes *geo.RouteTable, masterRNG *rand.Rand) error {
+	opt := w.Options
+	w.fab = netsim.NewFabric(opt.Shards, routes, opt.Seed+3)
+	w.Net = w.fab.Net(0)
+	w.Clock = w.fab.Clock(0)
+
+	plans, err := w.planServers(masterRNG)
+	if err != nil {
+		return err
+	}
+
+	spec, polName, seed, err := w.resolveWorkloadSpec()
+	if err != nil {
+		return err
+	}
+	cells := w.buildCells(spec, polName, seed)
+	assignShards(cells, opt.Shards)
+	w.open = &openLoop{cells: cells}
+
+	// Intern every template host up front, in population order, so HostIDs
+	// are independent of both the partition and the arrival order.
+	cellOf := make([]int, len(w.Users))
+	for ci, c := range cells {
+		for _, ui := range c.members {
+			cellOf[ui] = ci
+		}
+	}
+	for i, u := range w.Users {
+		w.fab.Intern(cells[cellOf[i]].shard, u.Name)
+	}
+
+	w.fab.Freeze(geo.MinOneWayDelay())
+
+	if err := w.startServers(plans); err != nil {
+		return err
+	}
+
+	w.shardSinks = make([]*trace.Collector, opt.Shards)
+	w.factories = make([]*SessionFactory, opt.Shards)
+	for s := 0; s < opt.Shards; s++ {
+		w.shardSinks[s] = &trace.Collector{}
+		w.factories[s] = &SessionFactory{
+			w:           w,
+			clock:       w.fab.Clock(s),
+			net:         w.fab.Net(s),
+			sink:        w.shardSinks[s],
+			dynLabel:    opt.DynamicsLabel(),
+			policyLabel: opt.PolicyLabel(),
+		}
+	}
+	for _, c := range cells {
+		c.scheduleArrival()
+	}
+	return nil
+}
+
+// buildCells partitions the template pool into arrival cells: users
+// grouped by country in first-appearance order, countries split into
+// blocks of at most cellBlockSize. Each cell runs a Poisson split of the
+// full arrival process (rate scaled by member share, so superposing the
+// cells reproduces the aggregate intensity), its own RNG stream derived
+// from the workload seed and the cell ordinal, its own selection-policy
+// instance, and a largest-remainder share of the arrival budget. None of
+// this depends on the shard count.
+func (w *World) buildCells(spec workload.Spec, polName string, seed int64) []*arrivalCell {
+	groups := make(map[string][]int)
+	var order []string
+	for i, u := range w.Users {
+		if _, ok := groups[u.Country]; !ok {
+			order = append(order, u.Country)
+		}
+		groups[u.Country] = append(groups[u.Country], i)
+	}
+	var memberSets [][]int
+	for _, country := range order {
+		m := groups[country]
+		for len(m) > cellBlockSize {
+			memberSets = append(memberSets, m[:cellBlockSize])
+			m = m[cellBlockSize:]
+		}
+		memberSets = append(memberSets, m)
+	}
+
+	pool := len(w.Users)
+	budgets := apportionArrivals(w.Options.Arrivals, memberSets, pool)
+	cells := make([]*arrivalCell, 0, len(memberSets))
+	for ci, members := range memberSets {
+		cells = append(cells, &arrivalCell{
+			w:            w,
+			spec:         spec.Scaled(float64(len(members)) / float64(pool)),
+			policy:       policyInstance(polName),
+			rng:          rand.New(rand.NewSource(seed + 100003*int64(ci+1))),
+			arrivalsLeft: budgets[ci],
+			members:      members,
+			busy:         make([]bool, len(members)),
+			bundles:      make([]*sessionBundle, len(members)),
+		})
+	}
+	return cells
+}
+
+// apportionArrivals divides the arrival budget across cells in proportion
+// to their member counts by largest remainder, so the total is exact and
+// every cell's share is independent of everything but the (N-invariant)
+// cell partition itself.
+func apportionArrivals(total int, memberSets [][]int, pool int) []int {
+	out := make([]int, len(memberSets))
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, len(memberSets))
+	assigned := 0
+	for i, m := range memberSets {
+		exact := float64(total) * float64(len(m)) / float64(pool)
+		out[i] = int(math.Floor(exact))
+		assigned += out[i]
+		rems[i] = rem{i: i, frac: exact - math.Floor(exact)}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; k < total-assigned; k++ {
+		out[rems[k%len(rems)].i]++
+	}
+	return out
+}
+
+// assignShards packs whole cells onto shards: greedy least-loaded by
+// template count, visiting cells largest-first (ties in cell order). The
+// packing balances work but cannot change results — a cell behaves
+// identically on every shard.
+func assignShards(cells []*arrivalCell, shards int) {
+	idx := make([]int, len(cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return len(cells[idx[a]].members) > len(cells[idx[b]].members)
+	})
+	load := make([]int, shards)
+	for _, ci := range idx {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		cells[ci].shard = best
+		load[best] += len(cells[ci].members)
+	}
+}
+
+// dropArm posts a departed client's server-side teardown to the server's
+// shard (see arrivalCell.endSession).
+type dropArm struct {
+	srv  *server.Server
+	name string
+}
+
+func (d *dropArm) Fire(time.Duration) { d.srv.DropClient(d.name) }
+
+// runSharded drives the fabric's window protocol until the arrival budget
+// is spent and the last session has departed, then merges the per-shard
+// record streams into the world sink in a partition-invariant order.
+func (w *World) runSharded() (*Result, error) {
+	o := w.open
+	// stop runs on the control goroutine between windows, with every
+	// shard quiescent behind the barrier — the cell counters are stable
+	// and the check happens at the same (partition-invariant) window
+	// boundaries for every shard count.
+	w.fab.Run(func() bool { return o.pending() == 0 && o.activeN() == 0 })
+	if o.pending() != 0 || o.activeN() != 0 {
+		return nil, fmt.Errorf("study: open-loop run stalled with %d arrivals pending, %d sessions active",
+			o.pending(), o.activeN())
+	}
+
+	var all []*trace.Record
+	for _, c := range w.shardSinks {
+		all = append(all, c.Records()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.EndSec != b.EndSec {
+			return a.EndSec < b.EndSec
+		}
+		if a.StartSec != b.StartSec {
+			return a.StartSec < b.StartSec
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		return a.ClipURL < b.ClipURL
+	})
+	for _, rec := range all {
+		w.sink.Observe(rec)
+	}
+
+	var sim time.Duration
+	for i := 0; i < w.fab.NumShards(); i++ {
+		if t := w.fab.Clock(i).Now(); t > sim {
+			sim = t
+		}
+	}
+	res := &Result{
+		Users:       w.Users,
+		Sites:       w.Sites,
+		SimDuration: sim,
+		Events:      w.fab.Fired(),
+		Sessions:    o.sessionsN(),
+		Balked:      o.balkedN(),
+		Departed:    o.departedN(),
+	}
+	if w.collector != nil {
+		res.Records = w.collector.Records()
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package study
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"realtracer/internal/trace"
+)
+
+// shardOpts is the open-loop study the sharding tests share: a pool large
+// enough to split into several arrival cells across several countries,
+// driven hard enough that sessions overlap, balk and abandon.
+func shardOpts(shards int) Options {
+	return Options{
+		Seed:              17,
+		MaxUsers:          24,
+		ClipCap:           2,
+		Workload:          "poisson",
+		Arrivals:          60,
+		WorkloadIntensity: 2,
+		Shards:            shards,
+	}
+}
+
+func runCSV(t *testing.T, opt Options) (*Result, []byte) {
+	t.Helper()
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestShardEquivalence is the sharding tentpole's contract: for a fixed
+// seed the record stream is byte-identical for every shard count, and
+// repeat runs at the same count are byte-identical too. CI runs this test
+// under -race, which also makes it the shard-isolation fence: any state
+// two shards both touch outside the fabric's barriers is a reported race.
+func TestShardEquivalence(t *testing.T) {
+	base, baseCSV := runCSV(t, shardOpts(1))
+	if base.Sessions <= 0 || len(base.Records) == 0 {
+		t.Fatalf("degenerate baseline: %d sessions, %d records", base.Sessions, len(base.Records))
+	}
+	if base.Departed == 0 {
+		t.Fatal("baseline saw no mid-stream departures; the cross-shard teardown path went untested")
+	}
+	for _, shards := range []int{2, 4} {
+		res, csv := runCSV(t, shardOpts(shards))
+		if !bytes.Equal(csv, baseCSV) {
+			t.Errorf("shards=%d records differ from shards=1 (%d vs %d records)",
+				shards, len(res.Records), len(base.Records))
+		}
+		if res.Sessions != base.Sessions || res.Balked != base.Balked || res.Departed != base.Departed {
+			t.Errorf("shards=%d accounting (%d/%d/%d) differs from shards=1 (%d/%d/%d)",
+				shards, res.Sessions, res.Balked, res.Departed,
+				base.Sessions, base.Balked, base.Departed)
+		}
+	}
+	again, againCSV := runCSV(t, shardOpts(2))
+	if !bytes.Equal(againCSV, baseCSV) {
+		t.Error("repeat shards=2 run is not deterministic")
+	}
+	_ = again
+}
+
+// TestShardedWorldRuns exercises a sharded world at a population size where
+// every shard owns several cells and cross-shard traffic dominates, and
+// checks the run completes with sane accounting — the smoke test ahead of
+// the byte-level contract above.
+func TestShardedWorldRuns(t *testing.T) {
+	opt := Options{Seed: 5, ClipCap: 1, Workload: "poisson", Arrivals: 80, Shards: 3}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions+res.Balked != 80 {
+		t.Fatalf("sessions %d + balked %d != 80 arrivals", res.Sessions, res.Balked)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("sharded run produced no records")
+	}
+	if res.SimDuration <= 0 || res.Events == 0 {
+		t.Fatalf("degenerate run: duration %v, %d events", res.SimDuration, res.Events)
+	}
+}
+
+// TestShardOptionValidation pins the compatibility matrix: sharding is an
+// open-loop engine and refuses configurations whose semantics would need
+// cross-shard reads or global mutation.
+func TestShardOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"negative", Options{Seed: 1, Shards: -1}},
+		{"panel", Options{Seed: 1, Shards: 2}},
+		{"dynamics", Options{Seed: 1, Shards: 2, Workload: "poisson", Dynamics: "outage"}},
+		{"leastloaded", Options{Seed: 1, Shards: 2, Workload: "poisson", Selection: "leastloaded"}},
+	}
+	for _, tc := range cases {
+		if _, err := NewWorld(tc.opt); err == nil {
+			t.Errorf("%s: NewWorld accepted %+v, want error", tc.name, tc.opt)
+		}
+	}
+	// The policies that do not probe live load shard fine.
+	for _, sel := range []string{"", "rtt", "roundrobin"} {
+		opt := shardOpts(2)
+		opt.Selection = sel
+		if _, err := NewWorld(opt); err != nil {
+			t.Errorf("Selection %q: %v", sel, err)
+		}
+	}
+}
+
+// TestReplaceHostPanicsWithoutPort pins the replaceHost contract: a control
+// address with no port is a study-layer bug, and silently returning the
+// bare replacement host used to hide it (the session would then dial a
+// portless address and hang in dial failure).
+func TestReplaceHostPanicsWithoutPort(t *testing.T) {
+	if got := replaceHost("a.example.com:554", "b.example.com"); got != "b.example.com:554" {
+		t.Fatalf("replaceHost = %q, want b.example.com:554", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("replaceHost accepted a portless address")
+		}
+	}()
+	replaceHost("a.example.com", "b.example.com")
+}
+
+// TestShardedWorkloadSpeedup is the parallelism payoff fence: on a
+// multi-core host, a sharded open-loop run must finish at least 2x faster
+// (records per wall second) than the identical single-shard run. Skipped
+// below 4 cores — the container lanes that run tier-1 tests on one core
+// cannot observe a speedup.
+func TestShardedWorkloadSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a speedup measurement, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("speedup measurement is a long test")
+	}
+	opt := Options{Seed: 3, ClipCap: 2, Workload: "poisson", Arrivals: 1000, MaxUsers: 256}
+	rate := func(shards int) (float64, int) {
+		o := opt
+		o.Shards = shards
+		start := time.Now()
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(res.Records)) / time.Since(start).Seconds(), len(res.Records)
+	}
+	base, n1 := rate(1)
+	par, n4 := rate(4)
+	if n1 != n4 {
+		t.Fatalf("record counts diverged: shards=1 %d, shards=4 %d", n1, n4)
+	}
+	speedup := par / base
+	t.Logf("shards=1: %.0f rec/s; shards=4: %.0f rec/s; speedup %.2fx (%d records)", base, par, speedup, n1)
+	if speedup < 2 {
+		t.Errorf("shards=4 speedup %.2fx, want >= 2x", speedup)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug scaffolding in this file

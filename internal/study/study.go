@@ -76,6 +76,15 @@ type Options struct {
 	// "roundrobin" or "leastloaded". Setting it on a closed-loop run is
 	// an error — the panel always plays from the home site.
 	Selection string
+	// Shards splits the world across that many cores: hosts are partitioned
+	// into per-shard clocks and event heaps synchronized with conservative
+	// lookahead (netsim.Fabric). 0 keeps the classic single-threaded engine.
+	// Sharding requires an open-loop Workload, is incompatible with Dynamics
+	// (the dynamics layer mutates global state mid-run) and with the
+	// "leastloaded" Selection policy (its live load probe would read another
+	// shard's mutable state). For a fixed seed the output is byte-identical
+	// for every Shards >= 1.
+	Shards int
 	// StaggerWindow spreads user start times (default 90 minutes). Overlap
 	// creates shared-bottleneck load at servers.
 	StaggerWindow time.Duration
@@ -147,6 +156,20 @@ func (o Options) validate() error {
 	}
 	if o.CongestionScale < 0 {
 		return fmt.Errorf("study: CongestionScale must be >= 0, got %g", o.CongestionScale)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("study: Shards must be >= 0, got %d", o.Shards)
+	}
+	if o.Shards > 0 {
+		if !o.OpenLoop() {
+			return fmt.Errorf("study: Shards %d needs an open-loop Workload; the closed panel runs single-threaded", o.Shards)
+		}
+		if o.Dynamics != "" {
+			return fmt.Errorf("study: Shards is incompatible with Dynamics %q (the dynamics layer mutates global network state)", o.Dynamics)
+		}
+		if o.Selection == "leastloaded" {
+			return fmt.Errorf("study: Selection %q is incompatible with Shards (the live load probe reads other shards' state)", o.Selection)
+		}
 	}
 	if !o.OpenLoop() {
 		// Every open-loop knob is meaningless on the closed panel; accept

@@ -30,13 +30,18 @@ import (
 // Each World owns a private clock and network, so independent Worlds can
 // run concurrently on separate goroutines — the property the campaign
 // engine (internal/campaign) exploits to fan scenario sweeps out across
-// workers.
+// workers. Options.Shards instead parallelizes a single world: hosts are
+// partitioned across per-shard clocks and networks under a netsim.Fabric,
+// and Clock/Net then alias shard 0 — build-time code paths that touch them
+// run before the shards start.
 type World struct {
 	// Options is the (filled) configuration the world was built from.
 	Options Options
-	// Clock is the world's private discrete-event clock.
+	// Clock is the world's private discrete-event clock (shard 0's clock
+	// in a sharded world).
 	Clock *simclock.Clock
-	// Net is the simulated wide-area network connecting servers and users.
+	// Net is the simulated wide-area network connecting servers and users
+	// (shard 0's view in a sharded world).
 	Net *netsim.Network
 	// Sites and Users are the server/user geography for this world. In
 	// open-loop mode Users is the template pool arrivals draw from, not a
@@ -58,6 +63,45 @@ type World struct {
 	collector *trace.Collector
 	remaining int
 	ran       bool
+
+	// Sharded-execution state (Options.Shards > 0): the fabric, one
+	// factory and one record sink per shard.
+	fab        *netsim.Fabric
+	factories  []*SessionFactory
+	shardSinks []*trace.Collector
+}
+
+// clockFor returns the clock driving shard's events; shard -1 is the
+// classic single-threaded world.
+func (w *World) clockFor(shard int) *simclock.Clock {
+	if shard < 0 || w.fab == nil {
+		return w.Clock
+	}
+	return w.fab.Clock(shard)
+}
+
+// netFor returns shard's Network view; shard -1 is the classic world.
+func (w *World) netFor(shard int) *netsim.Network {
+	if shard < 0 || w.fab == nil {
+		return w.Net
+	}
+	return w.fab.Net(shard)
+}
+
+// factoryFor returns shard's session factory; shard -1 is the classic
+// world's single factory.
+func (w *World) factoryFor(shard int) *SessionFactory {
+	if shard < 0 || w.fab == nil {
+		return w.factory
+	}
+	return w.factories[shard]
+}
+
+// siteShard maps an active-site ordinal (an index into ActiveSites /
+// Servers) to its owning shard. Round-robin by ordinal: the mirror set is
+// fixed at build time, so the assignment is trivially partition-stable.
+func (w *World) siteShard(ai int) int {
+	return ai % w.Options.Shards
 }
 
 // NewWorld builds the simulated Internet for opt: servers brought up, the
@@ -72,7 +116,6 @@ func NewWorld(opt Options) (*World, error) {
 	opt.fill()
 	w := &World{
 		Options: opt,
-		Clock:   simclock.New(),
 		Sites:   geo.Sites(),
 	}
 	w.collector = &trace.Collector{}
@@ -92,6 +135,15 @@ func NewWorld(opt Options) (*World, error) {
 
 	routes := geo.NewRouteTable(w.Sites, w.Users, opt.Seed+2)
 	routes.CongestionScale = opt.CongestionScale
+
+	if opt.Shards > 0 {
+		if err := w.buildSharded(routes, masterRNG); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+
+	w.Clock = simclock.New()
 	w.Net = netsim.New(w.Clock, routes, opt.Seed+3)
 
 	if opt.Dynamics != "" {
@@ -106,11 +158,17 @@ func NewWorld(opt Options) (*World, error) {
 		w.Net.SetDynamics(spec, dseed)
 	}
 
-	if err := w.buildServers(masterRNG); err != nil {
+	plans, err := w.planServers(masterRNG)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.startServers(plans); err != nil {
 		return nil, err
 	}
 	w.factory = &SessionFactory{
 		w:           w,
+		clock:       w.Clock,
+		net:         w.Net,
 		dynLabel:    opt.DynamicsLabel(),
 		policyLabel: opt.PolicyLabel(),
 	}
@@ -124,33 +182,41 @@ func NewWorld(opt Options) (*World, error) {
 	return w, nil
 }
 
-// buildServers brings up the RealServers and assembles the playlist. In
-// open-loop mode every server carries the full clip set (clips are
-// replicated across the mirror sites so a selection policy can re-home any
-// request); the panel keeps the paper's layout, each clip only at its home
-// site. The masterRNG draw order is identical in both modes — one Int63
-// per active site — so panel worlds stay byte-identical.
-func (w *World) buildServers(masterRNG *rand.Rand) error {
+// sitePlan is one active site's build-time plan: its generated library and
+// the master-RNG seed its server will run on.
+type sitePlan struct {
+	site geo.ServerSite
+	lib  *media.Library
+	seed int64
+}
+
+// planServers walks the site list in order, attaches each active site's
+// host, generates its clip library and assembles the playlist. The
+// masterRNG draw order — one Int63 per active site — is identical in every
+// mode, which is what keeps panel worlds byte-identical and sharded worlds
+// partition-invariant. In a sharded world the host is interned into the
+// site's owning shard; the servers themselves start only after Freeze
+// (startServers), because their transport stacks must bind to the shared
+// frozen tables.
+func (w *World) planServers(masterRNG *rand.Rand) ([]sitePlan, error) {
 	opt := w.Options
 	serverAccess := netsim.DefaultAccessProfile(netsim.AccessServer)
 	serverAccess.UpKbps = opt.ServerUplinkKbps
 	serverAccess.DownKbps = opt.ServerUplinkKbps
 
-	type sitePlan struct {
-		site geo.ServerSite
-		lib  *media.Library
-		seed int64
-	}
 	var plans []sitePlan
-	var allClips []*media.Clip
 	for si, site := range w.Sites {
 		if site.Clips == 0 {
 			continue
 		}
-		w.Net.AddHost(netsim.HostConfig{Name: site.Host, Access: serverAccess})
+		cfg := netsim.HostConfig{Name: site.Host, Access: serverAccess}
+		if w.fab != nil {
+			w.fab.AddHost(len(plans)%opt.Shards, cfg)
+		} else {
+			w.Net.AddHost(cfg)
+		}
 		lib := media.GenerateLibrary(site.Host, site.Clips, opt.Seed+100+int64(si))
 		plans = append(plans, sitePlan{site: site, lib: lib, seed: masterRNG.Int63()})
-		allClips = append(allClips, lib.Clips...)
 		for _, clip := range lib.Clips {
 			w.Playlist = append(w.Playlist, tracer.Entry{
 				URL:         clip.URL,
@@ -159,14 +225,35 @@ func (w *World) buildServers(masterRNG *rand.Rand) error {
 			})
 		}
 	}
+	if len(w.Playlist) != geo.PlaylistSize {
+		return nil, fmt.Errorf("study: playlist has %d entries, want %d", len(w.Playlist), geo.PlaylistSize)
+	}
+	return plans, nil
+}
+
+// startServers brings up the RealServers from their plans. In open-loop
+// mode every server carries the full clip set (clips are replicated across
+// the mirror sites so a selection policy can re-home any request); the
+// panel keeps the paper's layout, each clip only at its home site. In a
+// sharded world each server runs on its owning shard's clock and network.
+func (w *World) startServers(plans []sitePlan) error {
+	opt := w.Options
+	var allClips []*media.Clip
 	for _, p := range plans {
+		allClips = append(allClips, p.lib.Clips...)
+	}
+	for ai, p := range plans {
 		lib := p.lib
-		if w.Options.OpenLoop() {
+		if opt.OpenLoop() {
 			lib = media.NewLibrary(allClips)
 		}
+		shard := -1
+		if w.fab != nil {
+			shard = w.siteShard(ai)
+		}
 		srv := server.New(server.Config{
-			Clock:          vclock.Sim{C: w.Clock},
-			Net:            session.SimNet{Stack: transport.NewStack(w.Net, p.site.Host)},
+			Clock:          vclock.Sim{C: w.clockFor(shard)},
+			Net:            session.SimNet{Stack: transport.NewStack(w.netFor(shard), p.site.Host)},
 			Library:        lib,
 			Rand:           rand.New(rand.NewSource(p.seed)),
 			Unavailability: p.site.Unavailability,
@@ -179,9 +266,6 @@ func (w *World) buildServers(masterRNG *rand.Rand) error {
 		}
 		w.Servers = append(w.Servers, srv)
 		w.ActiveSites = append(w.ActiveSites, p.site)
-	}
-	if len(w.Playlist) != geo.PlaylistSize {
-		return fmt.Errorf("study: playlist has %d entries, want %d", len(w.Playlist), geo.PlaylistSize)
 	}
 	return nil
 }
@@ -214,7 +298,9 @@ func (w *World) launchUsers(masterRNG *rand.Rand) {
 // run's memory is bounded by the sink's own state instead of the record
 // count. Call before Run; the returned Result then carries a nil Records
 // slice. The default sink is a trace.Collector, which preserves the
-// classic retain-everything Result.
+// classic retain-everything Result. A sharded world still buffers records
+// per shard until the run ends (the deterministic merge needs them), then
+// streams the merged order into s.
 func (w *World) SetSink(s trace.Sink) {
 	if s == nil {
 		return
@@ -233,13 +319,16 @@ func (w *World) Run() (*Result, error) {
 		return nil, fmt.Errorf("study: world already run")
 	}
 	w.ran = true
+	if w.fab != nil {
+		return w.runSharded()
+	}
 	if w.open != nil {
-		o := w.open
-		for (o.arrivalsLeft > 0 || o.active > 0) && w.Clock.Step() {
+		c := w.open.cells[0] // the classic open loop is a single cell
+		for (c.arrivalsLeft > 0 || c.active > 0) && w.Clock.Step() {
 		}
-		if o.arrivalsLeft != 0 || o.active != 0 {
+		if c.arrivalsLeft != 0 || c.active != 0 {
 			return nil, fmt.Errorf("study: open-loop run stalled with %d arrivals pending, %d sessions active",
-				o.arrivalsLeft, o.active)
+				c.arrivalsLeft, c.active)
 		}
 	} else {
 		for w.remaining > 0 && w.Clock.Step() {
@@ -255,9 +344,9 @@ func (w *World) Run() (*Result, error) {
 		Events:      w.Clock.Fired(),
 	}
 	if w.open != nil {
-		res.Sessions = w.open.sessions
-		res.Balked = w.open.balked
-		res.Departed = w.open.departed
+		res.Sessions = w.open.sessionsN()
+		res.Balked = w.open.balkedN()
+		res.Departed = w.open.departedN()
 	}
 	if w.collector != nil {
 		res.Records = w.collector.Records()

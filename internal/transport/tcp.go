@@ -296,8 +296,11 @@ func (c *simTCP) onPacket(pkt *netsim.Packet) {
 		c.onAck(m)
 		// The ACK has been fully consumed; recycle it to the stack that
 		// created it. ACKs the network dropped (or that arrived on a closed
-		// conn) just get collected.
-		putAck(m)
+		// conn) just get collected, as are shard-transit copies — their
+		// origin is nil, because a snapshot was never part of any pool.
+		if m.origin != nil && m.origin.net == c.stack.net {
+			putAck(m)
+		}
 	}
 }
 

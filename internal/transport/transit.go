@@ -1,0 +1,25 @@
+package transport
+
+import "realtracer/internal/netsim"
+
+// Shard-transit snapshots (netsim.Transferable). In a sharded world every
+// packet payload is deep-copied at the WAN edge — value semantics standing in
+// for real serialization — so no shard reads memory another shard mutates.
+// The TCP wire types carry two pieces of sender-private state that must not
+// travel: seg.conn (the sender's conn identity, written for routing and never
+// read by the receive path) and ack.origin (the free-list the ACK recycles
+// to; a copy is garbage, not a pooled object, so its origin is nil and
+// onPacket skips the recycle).
+
+func (s *tcpSeg) TransitCopy() any {
+	cp := *s
+	cp.conn = nil
+	cp.payload = netsim.CopyPayload(s.payload)
+	return &cp
+}
+
+func (a *tcpAck) TransitCopy() any {
+	cp := *a
+	cp.origin = nil
+	return &cp
+}

@@ -14,6 +14,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -57,14 +58,47 @@ type Spec struct {
 // Lewis–Shedler thinning: candidate gaps come from a homogeneous Poisson
 // process at MaxRate and are accepted with probability Rate(t)/MaxRate, so
 // any bounded time-varying rate is exact. Deterministic given rng.
+//
+// A degenerate envelope is a hard error, not garbage output: MaxRate must be
+// positive and finite (an empty template pool calibrates to rate 0, and
+// float→int64 conversion of the resulting +Inf gap is undefined in Go — the
+// arrival train would jump to an arbitrary virtual time). A Rate(t) above
+// MaxRate breaks thinning's acceptance bound, so it is clamped to the
+// envelope: the draw stream is untouched for every compliant profile, and a
+// non-compliant one degrades to arrivals at MaxRate instead of silently
+// producing a thinned process with the wrong distribution.
 func (s *Spec) NextGap(now time.Duration, rng *rand.Rand) time.Duration {
+	if !(s.MaxRate > 0) || math.IsInf(s.MaxRate, 1) {
+		panic(fmt.Sprintf("workload: spec %q has degenerate MaxRate %v", s.Name, s.MaxRate))
+	}
 	t := now
 	for {
 		t += time.Duration(rng.ExpFloat64() / s.MaxRate * float64(time.Second))
-		if rng.Float64()*s.MaxRate <= s.Rate(t) {
+		r := s.Rate(t)
+		if r > s.MaxRate {
+			r = s.MaxRate
+		}
+		if rng.Float64()*s.MaxRate <= r {
 			return t - now
 		}
 	}
+}
+
+// Scaled returns a copy of the spec generating a frac share of the arrival
+// process: Rate and MaxRate are both scaled, so thinning acceptance odds —
+// and therefore the per-arrival draw count — are unchanged. Splitting a
+// Poisson (or non-homogeneous Poisson) process by independent per-cell
+// streams is again Poisson, which is what lets a sharded world run one
+// arrival cell per region and still present a population whose aggregate
+// intensity matches the single-stream world. The popularity cache is
+// dropped: each cell lazily builds its own table, because the cache is
+// written on the cell's own thread.
+func (s Spec) Scaled(frac float64) Spec {
+	inner := s.Rate
+	s.Rate = func(t time.Duration) float64 { return inner(t) * frac }
+	s.MaxRate *= frac
+	s.zipf, s.zipfN = nil, 0
+	return s
 }
 
 // Plan is one session's draw: which playlist entries the user will watch

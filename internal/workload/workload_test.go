@@ -236,3 +236,69 @@ func TestProfileRegistry(t *testing.T) {
 		t.Fatal("panel must not resolve as an open-loop profile")
 	}
 }
+
+// TestNextGapRejectsDegenerateEnvelope: a zero, negative, NaN or infinite
+// MaxRate must panic instead of producing garbage gaps. The zero case is
+// the one that bit in production shape: an empty template pool calibrates
+// to rate 0, ExpFloat64()/0 is +Inf, and converting that float to a
+// time.Duration is undefined behavior in Go — the arrival train silently
+// jumped to an arbitrary virtual time instead of failing.
+func TestNextGapRejectsDegenerateEnvelope(t *testing.T) {
+	for _, maxRate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		s := Spec{Name: "degenerate", Rate: func(time.Duration) float64 { return 1 }, MaxRate: maxRate}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NextGap accepted MaxRate %v", maxRate)
+				}
+			}()
+			s.NextGap(0, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+// TestNextGapClampsRateToEnvelope: a profile whose Rate(t) exceeds MaxRate
+// breaks the thinning acceptance bound. The draw must clamp to the
+// envelope — giving exactly the draw stream of a compliant rate == MaxRate
+// process — rather than silently distorting acceptance probabilities.
+func TestNextGapClampsRateToEnvelope(t *testing.T) {
+	over := Spec{Name: "over", Rate: func(time.Duration) float64 { return 50 }, MaxRate: 10}
+	flat := Spec{Name: "flat", Rate: func(time.Duration) float64 { return 10 }, MaxRate: 10}
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		ga, gb := over.NextGap(now, a), flat.NextGap(now, b)
+		if ga != gb {
+			t.Fatalf("draw %d: clamped gap %v != compliant gap %v", i, ga, gb)
+		}
+		if ga <= 0 {
+			t.Fatalf("draw %d: non-positive gap %v", i, ga)
+		}
+		now += ga
+	}
+}
+
+// TestScaledSplitsThePoissonStream: Scaled(frac) must scale Rate and
+// MaxRate together, leaving thinning acceptance odds — and therefore the
+// per-arrival RNG draw count — untouched. Two identical RNGs stay in
+// lockstep across a draw from the full and the scaled spec; that lockstep
+// is what makes a sharded world's per-cell arrival streams a true Poisson
+// split instead of a different process.
+func TestScaledSplitsThePoissonStream(t *testing.T) {
+	full := Spec{Name: "full", Rate: func(time.Duration) float64 { return 4 }, MaxRate: 4, ZipfS: 1}
+	half := full.Scaled(0.5)
+	if half.MaxRate != 2 {
+		t.Fatalf("Scaled(0.5) MaxRate = %v, want 2", half.MaxRate)
+	}
+	if got := half.Rate(0); got != 2 {
+		t.Fatalf("Scaled(0.5) Rate(0) = %v, want 2", got)
+	}
+	a, b := rand.New(rand.NewSource(99)), rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		full.NextGap(0, a)
+		half.NextGap(0, b)
+		if av, bv := a.Int63(), b.Int63(); av != bv {
+			t.Fatalf("draw %d: RNGs out of lockstep (%d vs %d) — acceptance odds changed", i, av, bv)
+		}
+	}
+}
