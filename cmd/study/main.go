@@ -40,7 +40,8 @@
 // into per-shard event heaps synchronized with conservative lookahead, and
 // the records are byte-identical to the -shards 1 run of the same seed —
 // parallelism is an execution detail, never a result. Requires -workload;
-// incompatible with -dynamics and -selection leastloaded.
+// composes with every -dynamics profile and every -selection policy
+// (leastloaded selections read lookahead-delayed load gossip).
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, so hot-path work
 // (the zero-allocation discrete-event core) can keep attacking the profile:

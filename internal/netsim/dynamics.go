@@ -157,6 +157,7 @@ const (
 	patAny uint8 = iota
 	patExact
 	patSuffix
+	patNone // exact name unknown to a frozen world: matches nothing
 )
 
 // compiledPattern is a host pattern resolved at SetDynamics time: exact
@@ -175,19 +176,33 @@ func (n *Network) compilePattern(pattern string) compiledPattern {
 	case len(pattern) > 1 && pattern[0] == '*':
 		return compiledPattern{kind: patSuffix, suffix: pattern[1:]}
 	default:
+		if n.frozen {
+			// A frozen (sharded) world's name table is closed: an exact
+			// pattern either resolves to an existing ID or names a host
+			// that can never exist — compile it to never-match instead of
+			// letting Intern panic over the closed table.
+			if id, ok := n.ids[pattern]; ok {
+				return compiledPattern{kind: patExact, id: id}
+			}
+			return compiledPattern{kind: patNone}
+		}
 		return compiledPattern{kind: patExact, id: n.Intern(pattern)}
 	}
 }
 
-// match tests a compiled pattern against an attached host.
-func (c *compiledPattern) match(h *host) bool {
+// match tests a compiled pattern against an interned host, identified by
+// its frozen ID and name. Matching by ID/name rather than by attached
+// *host lets the sharded engine match paths whose destination lives on
+// another shard (remote hosts are never attached locally).
+func (c *compiledPattern) match(id HostID, name string) bool {
 	switch c.kind {
 	case patAny:
 		return true
 	case patExact:
-		return c.id == h.id
+		return c.id == id
+	case patNone:
+		return false
 	default:
-		name := h.cfg.Name
 		return len(name) >= len(c.suffix) && name[len(name)-len(c.suffix):] == c.suffix
 	}
 }
@@ -253,13 +268,17 @@ const dynTick = time.Second
 
 // dynEventsFor lazily resolves which schedule events match the path, using
 // the patterns compiled at SetDynamics time (ID comparison for exact names,
-// one suffix check per path per event otherwise — never per packet).
-func (n *Network) dynEventsFor(p *pathState, from, to *host) []int {
+// one suffix check per path per event otherwise — never per packet). The
+// endpoints are identified by ID: in a sharded world the destination may be
+// owned by another shard and have no local *host at all, but the frozen
+// name table resolves every interned ID on every shard.
+func (n *Network) dynEventsFor(p *pathState, from, to HostID) []int {
 	if !p.dynMatched {
 		p.dynMatched = true
+		fromName, toName := n.names[from], n.names[to]
 		for i := range n.dyn.compiled {
 			c := &n.dyn.compiled[i]
-			if c.from.match(from) && c.to.match(to) {
+			if c.from.match(from, fromName) && c.to.match(to, toName) {
 				p.dynEvents = append(p.dynEvents, i)
 			}
 		}
@@ -271,11 +290,19 @@ func (n *Network) dynEventsFor(p *pathState, from, to *host) []int {
 }
 
 // dynApply folds every matching active event into one effect for a packet
-// offered on the path at virtual time now.
-func (n *Network) dynApply(p *pathState, from, to *host) dynEffect {
+// offered on the path at virtual time now. pathRng is the path's private
+// draw stream; the sharded engine draws Gilbert–Elliott transitions from it
+// (per-path streams advanced in source-shard event order are partition-
+// invariant where a global dynamics RNG would not be), while the classic
+// engine keeps the dedicated dynamics RNG and may pass pathRng nil.
+func (n *Network) dynApply(p *pathState, from, to HostID, pathRng *rand.Rand) dynEffect {
 	eff := dynEffect{capFactor: 1}
 	if n.dyn == nil {
 		return eff
+	}
+	drawRng := n.dyn.rng
+	if n.fab != nil {
+		drawRng = pathRng
 	}
 	now := n.Clock.Now()
 	for gi, i := range n.dynEventsFor(p, from, to) {
@@ -306,7 +333,7 @@ func (n *Network) dynApply(p *pathState, from, to *host) dynEffect {
 		case EventFlashCrowd:
 			eff.congAdd += e.Amplitude * flashShape(t, e.RampUp, e.Decay)
 		case EventLossBurst:
-			n.advanceGE(&p.ge[gi], e, now)
+			advanceGE(&p.ge[gi], e, now, drawRng)
 			if p.ge[gi].bad {
 				eff.lossExtra = combineLoss(eff.lossExtra, e.BadLoss)
 			}
@@ -318,18 +345,18 @@ func (n *Network) dynApply(p *pathState, from, to *host) dynEffect {
 }
 
 // advanceGE walks the Gilbert–Elliott chain forward to now in one-second
-// steps, drawing transitions from the dynamics RNG.
-func (n *Network) advanceGE(g *geState, e *DynEvent, now time.Duration) {
+// steps, drawing transitions from rng.
+func advanceGE(g *geState, e *DynEvent, now time.Duration, rng *rand.Rand) {
 	if g.last == 0 && g.last < e.Start {
 		g.last = e.Start
 	}
 	for g.last+dynTick <= now {
 		g.last += dynTick
 		if g.bad {
-			if n.dyn.rng.Float64() < e.PExit {
+			if rng.Float64() < e.PExit {
 				g.bad = false
 			}
-		} else if n.dyn.rng.Float64() < e.PEnter {
+		} else if rng.Float64() < e.PEnter {
 			g.bad = true
 		}
 	}

@@ -189,20 +189,20 @@ func TestDiurnalShape(t *testing.T) {
 	spec := &Dynamics{Events: []DynEvent{e}}
 	r := newRig(Route{CapacityKbps: 1000, CongestionMean: 0}, spec, 1)
 	// Probe the effective congestion addition directly via dynApply.
-	p := r.net.path(r.net.Intern("src"), r.net.Intern("dst"))
-	src, dst := r.net.hostByAddr("src:1"), r.net.hostByAddr("dst:1")
+	src, dst := r.net.Intern("src"), r.net.Intern("dst")
+	p := r.net.path(src, dst)
 	r.clock.RunUntil(15 * time.Minute) // quarter period: sin^2 = 0.5
-	eff := r.net.dynApply(p, src, dst)
+	eff := r.net.dynApply(p, src, dst, nil)
 	if eff.congAdd < 0.15 || eff.congAdd > 0.25 {
 		t.Fatalf("quarter-period congAdd=%.3f want ~0.2", eff.congAdd)
 	}
 	r.clock.RunUntil(30 * time.Minute) // half period: sin^2 = 1 -> amplitude
-	eff = r.net.dynApply(p, src, dst)
+	eff = r.net.dynApply(p, src, dst, nil)
 	if eff.congAdd < 0.35 {
 		t.Fatalf("peak congAdd=%.3f want ~0.4", eff.congAdd)
 	}
 	r.clock.RunUntil(60 * time.Minute) // full period: back to ~0
-	eff = r.net.dynApply(p, src, dst)
+	eff = r.net.dynApply(p, src, dst, nil)
 	if eff.congAdd > 0.05 {
 		t.Fatalf("full-period congAdd=%.3f want ~0", eff.congAdd)
 	}
@@ -234,11 +234,11 @@ func TestMatchHostPatterns(t *testing.T) {
 	}
 	for _, c := range cases {
 		cp := n.compilePattern(c.pattern)
-		h := n.hostByAddr(Addr(c.host + ":1"))
-		if h == nil {
-			t.Fatalf("host %q not attached", c.host)
+		id := n.HostIDOf(c.host)
+		if id == 0 {
+			t.Fatalf("host %q not interned", c.host)
 		}
-		if got := cp.match(h); got != c.want {
+		if got := cp.match(id, c.host); got != c.want {
 			t.Errorf("compilePattern(%q).match(%q)=%v want %v", c.pattern, c.host, got, c.want)
 		}
 	}

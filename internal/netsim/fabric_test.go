@@ -179,6 +179,89 @@ func TestFabricCrossShardDelivery(t *testing.T) {
 	}
 }
 
+// fireFunc adapts a func to simclock.EventHandler for control-event tests.
+type fireFunc func(time.Duration)
+
+func (f fireFunc) Fire(now time.Duration) { f(now) }
+
+// TestFabricDrainShrinksOutboxes pins drain's memory bound: an outbox that
+// ballooned past outboxRetainCap during one burst window must drop its
+// backing array once drained, while a normally-sized outbox keeps its
+// backing for reuse. Without the cut, one flash-crowd window would pin its
+// high-water mark in memory for the rest of the run — per (src, dst) pair.
+func TestFabricDrainShrinksOutboxes(t *testing.T) {
+	fab := fabricRig(2, Route{OneWayDelay: 100 * time.Millisecond})
+	fired := 0
+	count := fireFunc(func(time.Duration) { fired++ })
+
+	small := outboxRetainCap / 4
+	for i := 0; i < small; i++ {
+		fab.Post(0, 1, fab.lookahead, count)
+	}
+	fab.drain()
+	if box := fab.out[0][1]; box == nil || len(box) != 0 || cap(box) < small {
+		t.Fatalf("drain dropped a small outbox's backing (len %d, cap %d): reuse lost", len(box), cap(box))
+	}
+
+	burst := outboxRetainCap + 50
+	for i := 0; i < burst; i++ {
+		fab.Post(0, 1, fab.lookahead, count)
+	}
+	if cap(fab.out[0][1]) <= outboxRetainCap {
+		t.Fatalf("burst of %d did not outgrow retain cap %d; the shrink path went unexercised", burst, outboxRetainCap)
+	}
+	fab.drain()
+	if box := fab.out[0][1]; box != nil {
+		t.Fatalf("drain kept an oversized outbox backing (cap %d > %d)", cap(box), outboxRetainCap)
+	}
+
+	// The shrink must not cost messages: every posted event still fires.
+	fab.Run(nil)
+	if want := small + burst; fired != want {
+		t.Fatalf("%d of %d drained control events fired", fired, want)
+	}
+}
+
+// TestFabricPostLookaheadViolation pins Post's safety check: a control
+// event timestamped below the source shard's now+L could land inside a
+// horizon the destination shard is already executing, so Post must refuse
+// it loudly. The boundary itself (exactly now+L) is legal — it is the
+// soonest any cross-shard effect may occur.
+func TestFabricPostLookaheadViolation(t *testing.T) {
+	fab := fabricRig(2, Route{OneWayDelay: 100 * time.Millisecond})
+	fab.Post(0, 1, fab.lookahead, fireFunc(func(time.Duration) {})) // boundary: legal
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post below the lookahead horizon did not panic")
+		}
+	}()
+	fab.Post(0, 1, fab.lookahead-time.Nanosecond, fireFunc(func(time.Duration) {}))
+}
+
+// TestFabricWorkerPanicReraised pins the failure path of the window
+// barrier: a panic inside a shard event must surface as a panic from Run on
+// the control goroutine — carrying the original panic value — rather than
+// crash the worker goroutine and deadlock the remaining shards at the
+// barrier.
+func TestFabricWorkerPanicReraised(t *testing.T) {
+	fab := fabricRig(2, Route{OneWayDelay: 100 * time.Millisecond})
+	fab.Net(1).Register("b:1", func(*Packet) { panic("handler exploded") })
+	fab.Net(0).Send(&Packet{From: "a:9", To: "b:1", Size: 100, Payload: "x"})
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		fab.Run(nil)
+	}()
+	select {
+	case got := <-done:
+		if got != "handler exploded" {
+			t.Fatalf("Run panicked with %v, want the handler's own panic value", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run neither returned nor panicked: the barrier deadlocked on the dead worker")
+	}
+}
+
 // TestFabricShardCountInvariance pins the fabric's determinism contract at
 // the packet level: on a lossy, jittery route, per-packet delivery times
 // are identical whether the two hosts share a shard or not.

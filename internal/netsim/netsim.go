@@ -234,8 +234,9 @@ type Network struct {
 	stride   int
 	overflow map[pairKey]*pathState
 
-	free     []*Packet // packet free-list
-	hostFree []*host   // detached host objects recycled by AddHost
+	free     []*Packet   // packet free-list
+	hostFree []*host     // detached host objects recycled by AddHost
+	transit  TransitPool // shard-transit payload free-lists (transit.go)
 
 	dyn *dynState // nil unless SetDynamics installed a schedule
 
@@ -580,9 +581,11 @@ func (n *Network) Send(pkt *Packet) {
 	n.resampleCongestion(p, rng)
 	// The dynamics layer (dynamics.go) folds every active scheduled event —
 	// outages, ramps, traffic profiles, loss bursts, delay shifts — into one
-	// effect. With no schedule installed this is inert and draw-free.
-	// (Sharded networks reject dynamics at Freeze, so dst == nil is safe.)
-	eff := n.dynApply(p, src, dst)
+	// effect. With no schedule installed this is inert and draw-free. The
+	// endpoints go by ID: in sharded mode the destination may live on
+	// another shard (dst == nil here), but every interned ID resolves
+	// through the frozen name table on every shard.
+	eff := n.dynApply(p, pkt.FromID, pkt.ToID, rng)
 	if eff.drop {
 		n.dropped++
 		n.release(pkt)
@@ -611,10 +614,19 @@ func (n *Network) Send(pkt *Packet) {
 		n.release(pkt)
 		return
 	}
-	if eff.lossExtra > 0 && n.dyn.rng.Float64() < eff.lossExtra {
-		n.dropped++
-		n.release(pkt)
-		return
+	if eff.lossExtra > 0 {
+		// Dynamics loss draws come from the dedicated dynamics RNG on the
+		// classic path and from the path's private stream in sharded mode,
+		// mirroring the Gilbert–Elliott transition draws in dynApply.
+		dynRng := n.dyn.rng
+		if n.fab != nil {
+			dynRng = rng
+		}
+		if dynRng.Float64() < eff.lossExtra {
+			n.dropped++
+			n.release(pkt)
+			return
+		}
 	}
 	if r.CapacityKbps > 0 {
 		cong := clamp01(p.congestion + eff.congAdd)
@@ -647,8 +659,10 @@ func (n *Network) Send(pkt *Packet) {
 		// payload is snapshotted here (value semantics at the wire, like
 		// real serialization), so no shard ever reads memory another shard
 		// may still mutate, and a send's observable content is fixed at
-		// send time for every shard count.
-		pkt.Payload = CopyPayload(pkt.Payload)
+		// send time for every shard count. Snapshot storage is leased from
+		// this shard's transit pool and recycled by the receiving side
+		// (transit.go).
+		pkt.Payload = CopyPayload(&n.transit, pkt.Payload)
 		pkt.edge = true
 		n.fab.forward(n.shardIdx, t, pkt)
 		return
@@ -685,6 +699,7 @@ func (n *Network) deliver(pkt *Packet) {
 	hst := n.lookup(pkt.ToID)
 	if hst == nil {
 		n.dropped++
+		n.releaseTransitPayload(pkt)
 		n.release(pkt)
 		return
 	}
@@ -702,6 +717,7 @@ func (n *Network) deliver(pkt *Packet) {
 		arrive := maxDur(t, hst.downBusyUntil)
 		if arrive-t > hst.cfg.Access.QueueDelayMax {
 			n.dropped++
+			n.releaseTransitPayload(pkt)
 			n.release(pkt)
 			return
 		}
@@ -712,6 +728,7 @@ func (n *Network) deliver(pkt *Packet) {
 	h, ok := hst.handlers[pkt.To]
 	if !ok {
 		n.dropped++
+		n.releaseTransitPayload(pkt)
 		n.release(pkt)
 		return
 	}

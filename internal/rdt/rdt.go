@@ -198,6 +198,10 @@ type Packet struct {
 	BufferState *BufferState
 	EOS         *EndOfStream
 	Nack        *Nack
+
+	// transit points back to the pooled shard-transit snapshot this packet
+	// is the head of (transit.go); nil on every original.
+	transit *transitPacket
 }
 
 // Errors returned by Decode.

@@ -1,39 +1,108 @@
 package rdt
 
-// TransitCopy returns a deep snapshot of the packet for shard transit
-// (netsim.Transferable, matched structurally). RDT packets in the simulator
-// are arena-backed and rewritten in place across cells, so a packet crossing
-// a shard boundary must carry its own copy of the active variant and every
-// slice it references.
-func (p *Packet) TransitCopy() any {
-	cp := *p
+import "realtracer/internal/netsim"
+
+// Shard-transit snapshots for RDT packets (netsim.Transferable /
+// TransitReleasable, matched structurally). RDT packets in the simulator
+// are arena-backed and rewritten in place across cells, so a packet
+// crossing a shard boundary must carry its own copy of the active variant
+// and every slice it references. The copies are pooled: one transitPacket
+// holds the Packet head, inline storage for every variant and reusable
+// backing slices, leased from the sending shard's transit pool and released
+// by the receiving transport once the delivery callback has consumed it.
+//
+// Receivers may retain pointers INTO a released copy only as map keys /
+// presence markers, never for a later dereference — the same staleness
+// contract the arena-backed originals already impose (player.haveSeq keeps
+// *Data pointers purely as a seen-set; the server snapshots Report values
+// before its check timer reads them).
+
+// transitClass is the pool slot for RDT transit snapshots.
+var transitClass = netsim.RegisterTransitClass()
+
+// transitPacket is the pooled snapshot storage: the Packet head plus
+// inline variants and reusable slice backings. Packet.transit points back
+// here on a leased copy and is nil on every original, which is what makes
+// TransitRelease a safe no-op outside sharded runs.
+type transitPacket struct {
+	pkt    Packet
+	leased bool
+
+	data   Data
+	report Report
+	repair Repair
+	buf    BufferState
+	eos    EndOfStream
+	nack   Nack
+
+	payload []byte
+	parity  []byte
+	meta    []RepairMeta
+	seqs    []uint32
+}
+
+// TransitCopy implements netsim.Transferable.
+func (p *Packet) TransitCopy(tp *netsim.TransitPool) any {
+	var t *transitPacket
+	if v := tp.Get(transitClass); v != nil {
+		t = v.(*transitPacket)
+	} else {
+		t = &transitPacket{}
+		t.pkt.transit = t
+	}
+	t.leased = true
+	cp := &t.pkt
+	cp.Kind = p.Kind
+	cp.Data, cp.Report, cp.Repair, cp.BufferState, cp.EOS, cp.Nack = nil, nil, nil, nil, nil, nil
 	if p.Data != nil {
-		d := *p.Data
-		d.Payload = append([]byte(nil), p.Data.Payload...)
-		cp.Data = &d
+		t.data = *p.Data
+		if p.Data.Payload != nil {
+			t.payload = append(t.payload[:0], p.Data.Payload...)
+			t.data.Payload = t.payload
+		}
+		cp.Data = &t.data
 	}
 	if p.Report != nil {
-		r := *p.Report
-		cp.Report = &r
+		t.report = *p.Report
+		cp.Report = &t.report
 	}
 	if p.Repair != nil {
-		r := *p.Repair
-		r.Meta = append([]RepairMeta(nil), p.Repair.Meta...)
-		r.Parity = append([]byte(nil), p.Repair.Parity...)
-		cp.Repair = &r
+		t.repair = *p.Repair
+		t.meta = append(t.meta[:0], p.Repair.Meta...)
+		t.repair.Meta = t.meta
+		if p.Repair.Parity != nil {
+			t.parity = append(t.parity[:0], p.Repair.Parity...)
+			t.repair.Parity = t.parity
+		} else {
+			t.repair.Parity = nil
+		}
+		cp.Repair = &t.repair
 	}
 	if p.BufferState != nil {
-		b := *p.BufferState
-		cp.BufferState = &b
+		t.buf = *p.BufferState
+		cp.BufferState = &t.buf
 	}
 	if p.EOS != nil {
-		e := *p.EOS
-		cp.EOS = &e
+		t.eos = *p.EOS
+		cp.EOS = &t.eos
 	}
 	if p.Nack != nil {
-		n := *p.Nack
-		n.Seqs = append([]uint32(nil), p.Nack.Seqs...)
-		cp.Nack = &n
+		t.nack = *p.Nack
+		t.seqs = append(t.seqs[:0], p.Nack.Seqs...)
+		t.nack.Seqs = t.seqs
+		cp.Nack = &t.nack
 	}
-	return &cp
+	return cp
+}
+
+// TransitRelease implements netsim.TransitReleasable: a leased copy goes
+// back to the receiving shard's pool; originals (and double releases) are
+// no-ops.
+func (p *Packet) TransitRelease(tp *netsim.TransitPool) {
+	t := p.transit
+	if t == nil || !t.leased {
+		return
+	}
+	t.leased = false
+	tp.Put(transitClass, t)
 }

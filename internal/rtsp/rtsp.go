@@ -74,6 +74,10 @@ type Message struct {
 	Header map[string]string
 	// Body is the optional payload (e.g. a clip description).
 	Body []byte
+
+	// transit points back to the pooled snapshot storage on a leased
+	// shard-transit copy; nil on every original.
+	transit *transitMessage
 }
 
 // NewRequest builds a request message.

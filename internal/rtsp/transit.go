@@ -1,18 +1,70 @@
 package rtsp
 
-// TransitCopy returns a deep snapshot of the message for shard transit
-// (netsim.Transferable, matched structurally): the header map and body are
-// copied so the receiver shares no mutable memory with the sender.
-func (m *Message) TransitCopy() any {
-	cp := *m
+import "realtracer/internal/netsim"
+
+// Shard-transit snapshots for RTSP messages (netsim.Transferable /
+// TransitReleasable, matched structurally). Control messages are consumed
+// synchronously by their receive callbacks — the server parses the method
+// and headers, the player copies what it keeps (session id string, clip
+// description via ParseClipDesc) — so the snapshot can be recycled by the
+// receiving transport as soon as the callback returns. The header map and
+// body backing are reused across leases.
+
+// transitClass is the pool slot for RTSP transit snapshots.
+var transitClass = netsim.RegisterTransitClass()
+
+// transitMessage is the pooled snapshot storage: a Message head plus a
+// reusable header map and body backing. Message.transit points back here on
+// a leased copy and is nil on every original, making TransitRelease a safe
+// no-op outside sharded runs.
+type transitMessage struct {
+	msg    Message
+	leased bool
+	hdr    map[string]string
+	body   []byte
+}
+
+// TransitCopy implements netsim.Transferable.
+func (m *Message) TransitCopy(tp *netsim.TransitPool) any {
+	var t *transitMessage
+	if v := tp.Get(transitClass); v != nil {
+		t = v.(*transitMessage)
+	} else {
+		t = &transitMessage{}
+	}
+	t.leased = true
+	t.msg = *m
+	t.msg.transit = t
 	if m.Header != nil {
-		cp.Header = make(map[string]string, len(m.Header))
-		for k, v := range m.Header {
-			cp.Header[k] = v
+		if t.hdr == nil {
+			t.hdr = make(map[string]string, len(m.Header))
+		} else {
+			clear(t.hdr)
 		}
+		for k, v := range m.Header {
+			t.hdr[k] = v
+		}
+		t.msg.Header = t.hdr
+	} else {
+		t.msg.Header = nil
 	}
 	if m.Body != nil {
-		cp.Body = append([]byte(nil), m.Body...)
+		t.body = append(t.body[:0], m.Body...)
+		t.msg.Body = t.body
+	} else {
+		t.msg.Body = nil
 	}
-	return &cp
+	return &t.msg
+}
+
+// TransitRelease implements netsim.TransitReleasable: a leased copy goes
+// back to the receiving shard's pool; originals (and double releases) are
+// no-ops.
+func (m *Message) TransitRelease(tp *netsim.TransitPool) {
+	t := m.transit
+	if t == nil || !t.leased {
+		return
+	}
+	t.leased = false
+	tp.Put(transitClass, t)
 }

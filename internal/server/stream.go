@@ -76,8 +76,13 @@ type streamSession struct {
 	fecMeta []rdt.RepairMeta
 	fecBase uint32
 
-	// Feedback snapshots.
-	lastReport    *rdt.Report
+	// Feedback snapshots. The report is kept by value: the *rdt.Report the
+	// feedback callback sees lives in pooled storage (an arena packet on the
+	// classic path, a shard-transit snapshot on the sharded one) that is
+	// recycled as soon as the callback returns, so retaining the pointer
+	// until the next check tick would read reused memory.
+	lastReport    rdt.Report
+	haveReport    bool
 	healthyChecks int
 
 	// sentVideo retains recently sent video packets for NACK retransmission
@@ -440,9 +445,9 @@ func (sess *streamSession) checkUDP() {
 	if sess.ctrl == nil {
 		return
 	}
-	if sess.lastReport != nil {
+	if sess.haveReport {
 		r := sess.lastReport
-		sess.lastReport = nil
+		sess.haveReport = false
 		var lossFrac float64
 		// The report carries this interval's expectation and loss.
 		if r.Expected > 0 {
@@ -565,7 +570,8 @@ func (sess *streamSession) applySwitch(idx int) {
 func (sess *streamSession) onFeedback(pkt *rdt.Packet) {
 	switch pkt.Kind {
 	case rdt.TypeReport:
-		sess.lastReport = pkt.Report
+		sess.lastReport = *pkt.Report
+		sess.haveReport = true
 	case rdt.TypeBufferState:
 		// Reserved for future pacing refinements; the ahead-window pacing
 		// already bounds client buffer growth.

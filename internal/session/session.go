@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"realtracer/internal/media"
+	"realtracer/internal/netsim"
 	"realtracer/internal/packet"
 	"realtracer/internal/rdt"
 	"realtracer/internal/rtsp"
@@ -153,14 +154,35 @@ func ParseClipDesc(body []byte) (ClipDesc, error) {
 // RTSP session negotiated on the control connection.
 type DataHello struct {
 	SessionID string
+
+	transit bool // true on a leased shard-transit copy; false on originals
 }
 
-// TransitCopy returns a snapshot for shard transit (netsim.Transferable,
-// matched structurally). The hello is immutable in practice; the copy keeps
-// the value-semantics-at-the-wire contract uniform.
-func (h *DataHello) TransitCopy() any {
-	cp := *h
-	return &cp
+// helloTransitClass is the pool slot for DataHello transit snapshots.
+var helloTransitClass = netsim.RegisterTransitClass()
+
+// TransitCopy returns a pooled snapshot for shard transit
+// (netsim.Transferable, matched structurally). The hello is immutable in
+// practice; the copy keeps the value-semantics-at-the-wire contract uniform.
+func (h *DataHello) TransitCopy(tp *netsim.TransitPool) any {
+	var cp *DataHello
+	if v := tp.Get(helloTransitClass); v != nil {
+		cp = v.(*DataHello)
+	} else {
+		cp = &DataHello{}
+	}
+	cp.SessionID = h.SessionID
+	cp.transit = true
+	return cp
+}
+
+// TransitRelease implements netsim.TransitReleasable; a no-op on originals.
+func (h *DataHello) TransitRelease(tp *netsim.TransitPool) {
+	if !h.transit {
+		return
+	}
+	h.transit = false
+	tp.Put(helloTransitClass, h)
 }
 
 // Codec is the combined wire codec for live-socket mode: a one-byte channel

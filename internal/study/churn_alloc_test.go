@@ -66,6 +66,52 @@ func TestSessionChurnAllocBudget(t *testing.T) {
 	}
 }
 
+// shardedSessionAllocBudget bounds the steady-state allocations per session
+// under the sharded engine. On top of the classic per-session costs the
+// sharded path buffers each record until the merge (the collector retains
+// it, so its storage is never recycled), re-launches the fabric's worker
+// goroutines per measured Run call, and pays queue-growth noise on the
+// cross-shard outboxes — but the transit snapshots themselves are pooled,
+// so the per-packet copy tax that once made a sharded session cost tens of
+// thousands of allocations must stay gone. Measured steady state is ~410;
+// the budget sits ~2x above it, matching the classic fence's convention.
+const shardedSessionAllocBudget = 1000
+
+// TestShardedChurnAllocBudget is the sharded mirror of
+// TestSessionChurnAllocBudget: once the transit pools and bundle free-lists
+// are warm, a session's worth of cross-shard traffic leases its snapshots
+// from the per-shard pools instead of allocating each copy fresh. A
+// regression back to allocate-per-copy (PR 7's copy-at-send tax) blows the
+// budget by an order of magnitude.
+func TestShardedChurnAllocBudget(t *testing.T) {
+	w, err := NewWorld(Options{Seed: 31, MaxUsers: 12, ClipCap: 2, Workload: "poisson", Arrivals: 5000, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := w.open
+	completed := func() int { return o.sessionsN() - o.activeN() }
+	runSessions := func(n int) {
+		target := completed() + n
+		w.fab.Run(func() bool { return completed() >= target })
+		if completed() < target {
+			t.Fatal("fabric drained before the session window completed")
+		}
+	}
+
+	// Warm-up: rotate through the pool enough times that every bundle is
+	// built and the per-shard packet and transit free-lists reach steady
+	// state (including a few rebalance cycles between the shards).
+	runSessions(5 * len(w.Users))
+
+	const window = 20
+	perSession := testing.AllocsPerRun(3, func() { runSessions(window) }) / window
+	t.Logf("steady-state allocations per sharded session: %.0f (budget %d)", perSession, shardedSessionAllocBudget)
+	if perSession > shardedSessionAllocBudget {
+		t.Errorf("steady-state sharded churn allocates %.0f objects per session, budget %d — the transit pool has regressed",
+			perSession, shardedSessionAllocBudget)
+	}
+}
+
 // TestOpenLoopChurnDeterministic: pooled bundles must not leak state across
 // the sessions they serve. Identical high-churn runs — departures tearing
 // hosts out mid-stream, every template recycled repeatedly — produce

@@ -1,0 +1,86 @@
+// Load gossip: how the least-loaded selection policy sees server occupancy
+// in a sharded world.
+//
+// The classic engine probes each server's live ActiveSessions counter at
+// selection time. A sharded cell cannot: the counter belongs to the
+// server's owning shard, and a cross-shard read during a window is exactly
+// the kind of partition-dependent coupling the fabric forbids. Instead each
+// server's shard samples the counter on a fixed one-second tick and
+// broadcasts changed values to every shard's private load view through the
+// fabric's lookahead-delayed outbox machinery. Selections then read their
+// own shard's view — a snapshot that is lookahead-stale, the way a real
+// deployment's load feedback is propagation-stale.
+//
+// Partition invariance: the tick times (integer seconds), the sampled
+// sequence (server session counts evolve at partition-invariant event
+// times), and the application times (tick + lookahead) are all independent
+// of the shard count; updates for distinct sites write distinct slots, and
+// updates for one site are totally ordered by tick, so every shard's view
+// at any virtual time is the same for every N. The equivalence fence's
+// leastloaded arm holds the contract.
+package study
+
+import "time"
+
+// gossipTick is the load-broadcast cadence. One second matches the
+// coarseness of the quantity (whole sessions): finer ticks would multiply
+// events without changing any pick.
+const gossipTick = time.Second
+
+// siteGossip is one server's pooled broadcast tick, running on the server's
+// owning shard. Delta suppression keeps quiet servers free: an unchanged
+// counter re-arms the tick and posts nothing.
+type siteGossip struct {
+	w     *World
+	shard int // the server's owning shard; the tick runs here
+	ai    int // index into World.ActiveSites / Servers
+	last  int // last broadcast value; -1 forces the first broadcast
+	ups   []*loadUpdate
+}
+
+// Fire implements simclock.EventHandler.
+func (g *siteGossip) Fire(time.Duration) {
+	w := g.w
+	if v := w.Servers[g.ai].ActiveSessions(); v != g.last {
+		g.last = v
+		now := w.fab.Clock(g.shard).Now()
+		at := now + w.fab.Lookahead()
+		for s, u := range g.ups {
+			u.v = v
+			w.fab.Post(g.shard, s, at, u)
+		}
+	}
+	w.fab.Clock(g.shard).AfterHandler(gossipTick, g)
+}
+
+// loadUpdate is one pooled (site, destination-shard) update cell. Reuse is
+// safe: an update posted at tick+L has always fired before the same site's
+// next possible post mutates it again — the gap between them is at least
+// gossipTick - L, which is many windows under any admissible lookahead.
+type loadUpdate struct {
+	w     *World
+	shard int // destination shard whose load view this writes
+	ai    int
+	v     int
+}
+
+// Fire implements simclock.EventHandler.
+func (u *loadUpdate) Fire(time.Duration) { u.w.loads[u.shard][u.ai] = u.v }
+
+// startLoadGossip builds the per-shard load views and schedules every
+// site's first tick. Called only when the selection policy actually reads
+// load ("leastloaded"); the other policies keep a gossip-free event stream.
+func (w *World) startLoadGossip() {
+	shards := w.fab.NumShards()
+	w.loads = make([][]int, shards)
+	for s := range w.loads {
+		w.loads[s] = make([]int, len(w.Servers))
+	}
+	for ai := range w.Servers {
+		g := &siteGossip{w: w, shard: w.siteShard(ai), ai: ai, last: -1}
+		for s := 0; s < shards; s++ {
+			g.ups = append(g.ups, &loadUpdate{w: w, shard: s, ai: ai})
+		}
+		w.fab.Clock(g.shard).AfterHandler(gossipTick, g)
+	}
+}

@@ -71,6 +71,7 @@ func (o *openLoop) departedN() int {
 type arrivalCell struct {
 	w     *World
 	shard int // -1 = classic single-threaded world
+	ord   int // cell ordinal in build order; partition-invariant
 	spec  workload.Spec
 	// policy is this cell's private selection-policy instance (stateful
 	// policies like round-robin advance per cell); nil = pinned, no
@@ -257,6 +258,14 @@ type sessionBundle struct {
 	done        bool
 	departed    bool
 
+	// ordinal is the running session's arrival stamp: the owning cell's
+	// ordinal in the high bits, the cell's launch count in the low. Both
+	// are fixed before any shard assignment, so the stamp orders sessions
+	// identically for every shard count — the total-order tiebreak the
+	// sharded record merge needs when two records collide on every
+	// observable sort key.
+	ordinal int64
+
 	// drops are the pooled cross-shard DropClient handlers, one per
 	// server, built on the bundle's first sharded departure.
 	drops []*dropArm
@@ -302,6 +311,7 @@ func (c *arrivalCell) launchSession(mi int) {
 		b.rng.Seed(seed)
 	}
 	b.done, b.departed = false, false
+	b.ordinal = int64(c.ord)<<32 | int64(c.sessions)
 
 	plan := c.spec.NextPlanInto(b.rng, len(w.Playlist), sessionClipCycle(w.Options), b.clips)
 	b.clips = plan.Clips // keep the grown scratch for the next arrival
@@ -319,11 +329,11 @@ func (c *arrivalCell) launchSession(mi int) {
 }
 
 // selectFor builds the per-clip selection hook for one session: probe
-// every mirror (static RTT estimate plus — on the single-threaded engine —
-// the server's live session count) and re-home the entry to the policy's
-// pick. Nil under pinned. A sharded cell probes with Load 0: the live
-// ActiveSessions counter belongs to the server's own shard, and validate
-// already rejects the one policy ("leastloaded") that reads it.
+// every mirror (static RTT estimate plus the server's session count) and
+// re-home the entry to the policy's pick. Nil under pinned. The classic
+// engine probes the live ActiveSessions counter; a sharded cell reads its
+// shard's gossip-delayed load view instead (gossip.go) — nil and so probed
+// as 0 unless the policy is "leastloaded", the only one that reads load.
 func (c *arrivalCell) selectFor(userName string) func(tracer.Entry) tracer.Entry {
 	if c.policy == nil {
 		return nil
@@ -335,6 +345,8 @@ func (c *arrivalCell) selectFor(userName string) func(tracer.Entry) tracer.Entry
 			load := 0
 			if c.shard < 0 {
 				load = w.Servers[i].ActiveSessions()
+			} else if w.loads != nil {
+				load = w.loads[c.shard][i]
 			}
 			cands = append(cands, workload.Candidate{
 				Host: site.Host,
@@ -375,6 +387,7 @@ func (b *sessionBundle) onRecord(rec *trace.Record) {
 	if b.departed {
 		return
 	}
+	rec.Ordinal = b.ordinal
 	c := b.cell
 	c.w.factoryFor(c.shard).observe(rec)
 }

@@ -70,8 +70,27 @@ func (w *World) buildSharded(routes *geo.RouteTable, masterRNG *rand.Rand) error
 
 	w.fab.Freeze(geo.MinOneWayDelay())
 
+	// Dynamics install after Freeze: exact patterns compile against the
+	// frozen name table, and the compiled schedule is shared read-only
+	// across the shards (each shard advances chain state only for paths it
+	// owns; draws come from the per-path streams).
+	if opt.Dynamics != "" {
+		spec, err := buildDynamics(opt, w.Sites)
+		if err != nil {
+			return err
+		}
+		dseed := opt.DynamicsSeed
+		if dseed == 0 {
+			dseed = opt.Seed + 4
+		}
+		w.fab.SetDynamics(spec, dseed)
+	}
+
 	if err := w.startServers(plans); err != nil {
 		return err
+	}
+	if opt.Selection == "leastloaded" {
+		w.startLoadGossip()
 	}
 
 	w.shardSinks = make([]*trace.Collector, opt.Shards)
@@ -126,6 +145,7 @@ func (w *World) buildCells(spec workload.Spec, polName string, seed int64) []*ar
 	for ci, members := range memberSets {
 		cells = append(cells, &arrivalCell{
 			w:            w,
+			ord:          ci,
 			spec:         spec.Scaled(float64(len(members)) / float64(pool)),
 			policy:       policyInstance(polName),
 			rng:          rand.New(rand.NewSource(seed + 100003*int64(ci+1))),
@@ -156,9 +176,19 @@ func apportionArrivals(total int, memberSets [][]int, pool int) []int {
 		assigned += out[i]
 		rems[i] = rem{i: i, frac: exact - math.Floor(exact)}
 	}
+	// Largest remainder's invariant: the floors under-shoot the total by
+	// strictly less than one per cell (each remainder is in [0,1)), so the
+	// shortfall fits in one +1 pass over the remainder ranking. A shortfall
+	// outside [0, len(rems)) means the proportional arithmetic itself broke
+	// — wrapping around the ranking would silently misapportion, so fail
+	// loudly with the evidence instead.
+	if short := total - assigned; short < 0 || short > len(rems) {
+		panic(fmt.Sprintf("study: apportionArrivals shortfall %d outside [0,%d] (total %d, assigned %d, pool %d)",
+			short, len(rems), total, assigned, pool))
+	}
 	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
 	for k := 0; k < total-assigned; k++ {
-		out[rems[k%len(rems)].i]++
+		out[rems[k].i]++
 	}
 	return out
 }
@@ -197,6 +227,33 @@ type dropArm struct {
 
 func (d *dropArm) Fire(time.Duration) { d.srv.DropClient(d.name) }
 
+// mergeShardRecords sorts the concatenated per-shard record streams into
+// the partition-invariant output order: the observable keys first, then the
+// session's arrival ordinal as a total-order tiebreak. The ordinal matters
+// when two records agree on every observable key — one user's back-to-back
+// sessions of the same clip, bracketed to coarse identical timestamps, do
+// exactly that. Without it the tie falls back to concatenation order, which
+// is per-shard collection order — the one thing that changes with the shard
+// count.
+func mergeShardRecords(all []*trace.Record) {
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.EndSec != b.EndSec {
+			return a.EndSec < b.EndSec
+		}
+		if a.StartSec != b.StartSec {
+			return a.StartSec < b.StartSec
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.ClipURL != b.ClipURL {
+			return a.ClipURL < b.ClipURL
+		}
+		return a.Ordinal < b.Ordinal
+	})
+}
+
 // runSharded drives the fabric's window protocol until the arrival budget
 // is spent and the last session has departed, then merges the per-shard
 // record streams into the world sink in a partition-invariant order.
@@ -216,19 +273,7 @@ func (w *World) runSharded() (*Result, error) {
 	for _, c := range w.shardSinks {
 		all = append(all, c.Records()...)
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.EndSec != b.EndSec {
-			return a.EndSec < b.EndSec
-		}
-		if a.StartSec != b.StartSec {
-			return a.StartSec < b.StartSec
-		}
-		if a.User != b.User {
-			return a.User < b.User
-		}
-		return a.ClipURL < b.ClipURL
-	})
+	mergeShardRecords(all)
 	for _, rec := range all {
 		w.sink.Observe(rec)
 	}

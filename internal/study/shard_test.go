@@ -43,31 +43,71 @@ func runCSV(t *testing.T, opt Options) (*Result, []byte) {
 // repeat runs at the same count are byte-identical too. CI runs this test
 // under -race, which also makes it the shard-isolation fence: any state
 // two shards both touch outside the fabric's barriers is a reported race.
+//
+// The arms walk the compatibility matrix: the base open-loop engine, the
+// dynamics layer (shared read-only schedule, per-path chain state and
+// draws), and least-loaded selection (gossip-delayed load views). Each arm
+// holds shards 1/2/4 byte-identical among themselves — never against the
+// classic engine, whose event interleaving legitimately differs.
 func TestShardEquivalence(t *testing.T) {
-	base, baseCSV := runCSV(t, shardOpts(1))
-	if base.Sessions <= 0 || len(base.Records) == 0 {
-		t.Fatalf("degenerate baseline: %d sessions, %d records", base.Sessions, len(base.Records))
+	arms := []struct {
+		name string
+		prep func(*Options)
+	}{
+		{"base", func(*Options) {}},
+		{"dynamics", func(o *Options) { o.Dynamics = "lossburst"; o.DynamicsIntensity = 1 }},
+		{"leastloaded", func(o *Options) { o.Selection = "leastloaded" }},
 	}
-	if base.Departed == 0 {
-		t.Fatal("baseline saw no mid-stream departures; the cross-shard teardown path went untested")
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			opts := func(shards int) Options {
+				o := shardOpts(shards)
+				arm.prep(&o)
+				return o
+			}
+			base, baseCSV := runCSV(t, opts(1))
+			if base.Sessions <= 0 || len(base.Records) == 0 {
+				t.Fatalf("degenerate baseline: %d sessions, %d records", base.Sessions, len(base.Records))
+			}
+			if base.Departed == 0 {
+				t.Fatal("baseline saw no mid-stream departures; the cross-shard teardown path went untested")
+			}
+			for _, shards := range []int{2, 4} {
+				res, csv := runCSV(t, opts(shards))
+				if !bytes.Equal(csv, baseCSV) {
+					t.Errorf("shards=%d records differ from shards=1 (%d vs %d records)",
+						shards, len(res.Records), len(base.Records))
+				}
+				if res.Sessions != base.Sessions || res.Balked != base.Balked || res.Departed != base.Departed {
+					t.Errorf("shards=%d accounting (%d/%d/%d) differs from shards=1 (%d/%d/%d)",
+						shards, res.Sessions, res.Balked, res.Departed,
+						base.Sessions, base.Balked, base.Departed)
+				}
+			}
+			_, againCSV := runCSV(t, opts(2))
+			if !bytes.Equal(againCSV, baseCSV) {
+				t.Error("repeat shards=2 run is not deterministic")
+			}
+		})
 	}
-	for _, shards := range []int{2, 4} {
-		res, csv := runCSV(t, shardOpts(shards))
-		if !bytes.Equal(csv, baseCSV) {
-			t.Errorf("shards=%d records differ from shards=1 (%d vs %d records)",
-				shards, len(res.Records), len(base.Records))
-		}
-		if res.Sessions != base.Sessions || res.Balked != base.Balked || res.Departed != base.Departed {
-			t.Errorf("shards=%d accounting (%d/%d/%d) differs from shards=1 (%d/%d/%d)",
-				shards, res.Sessions, res.Balked, res.Departed,
-				base.Sessions, base.Balked, base.Departed)
-		}
+}
+
+// TestShardedLeastLoadedGossipBites proves the load gossip actually feeds
+// selections. With every load equal, LeastLoaded.Pick degenerates exactly
+// to NearestRTT.Pick (load ties all break on RTT) — so if the gossiped
+// views never carried a differentiating value, the two policies would
+// produce byte-identical runs and the leastloaded equivalence arm would be
+// vacuously green.
+func TestShardedLeastLoadedGossipBites(t *testing.T) {
+	ll := shardOpts(2)
+	ll.Selection = "leastloaded"
+	rtt := shardOpts(2)
+	rtt.Selection = "rtt"
+	_, llCSV := runCSV(t, ll)
+	_, rttCSV := runCSV(t, rtt)
+	if bytes.Equal(llCSV, rttCSV) {
+		t.Fatal("leastloaded run is byte-identical to rtt: gossiped load views never changed a pick")
 	}
-	again, againCSV := runCSV(t, shardOpts(2))
-	if !bytes.Equal(againCSV, baseCSV) {
-		t.Error("repeat shards=2 run is not deterministic")
-	}
-	_ = again
 }
 
 // TestShardedWorldRuns exercises a sharded world at a population size where
@@ -92,8 +132,9 @@ func TestShardedWorldRuns(t *testing.T) {
 }
 
 // TestShardOptionValidation pins the compatibility matrix: sharding is an
-// open-loop engine and refuses configurations whose semantics would need
-// cross-shard reads or global mutation.
+// open-loop engine, and everything the open-loop engine runs now shards —
+// including the dynamics layer and every selection policy, which earlier
+// revisions refused.
 func TestShardOptionValidation(t *testing.T) {
 	cases := []struct {
 		name string
@@ -101,20 +142,130 @@ func TestShardOptionValidation(t *testing.T) {
 	}{
 		{"negative", Options{Seed: 1, Shards: -1}},
 		{"panel", Options{Seed: 1, Shards: 2}},
-		{"dynamics", Options{Seed: 1, Shards: 2, Workload: "poisson", Dynamics: "outage"}},
-		{"leastloaded", Options{Seed: 1, Shards: 2, Workload: "poisson", Selection: "leastloaded"}},
 	}
 	for _, tc := range cases {
 		if _, err := NewWorld(tc.opt); err == nil {
 			t.Errorf("%s: NewWorld accepted %+v, want error", tc.name, tc.opt)
 		}
 	}
-	// The policies that do not probe live load shard fine.
-	for _, sel := range []string{"", "rtt", "roundrobin"} {
+	// Every selection policy shards, including the load-probing one
+	// (served by gossip), as does the dynamics layer.
+	for _, sel := range []string{"", "rtt", "roundrobin", "leastloaded"} {
 		opt := shardOpts(2)
 		opt.Selection = sel
 		if _, err := NewWorld(opt); err != nil {
 			t.Errorf("Selection %q: %v", sel, err)
+		}
+	}
+	dyn := shardOpts(2)
+	dyn.Dynamics = "outage"
+	if _, err := NewWorld(dyn); err != nil {
+		t.Errorf("Dynamics %q: %v", dyn.Dynamics, err)
+	}
+}
+
+// TestMergeShardRecordsTiebreak pins the merge's total order: records that
+// collide on every observable sort key (end, start, user, clip) must come
+// out in arrival-ordinal order regardless of the concatenation order they
+// went in with. Concatenation order is per-shard collection order — the one
+// thing that changes with the shard count — so without the ordinal tiebreak
+// a duplicate-key collision would break byte-equivalence across N.
+func TestMergeShardRecordsTiebreak(t *testing.T) {
+	mk := func(ord int64) *trace.Record {
+		return &trace.Record{
+			User: "user-7", ClipURL: "rtsp://s1.example.com/clip-3.rm",
+			StartSec: 12, EndSec: 40, Ordinal: ord,
+		}
+	}
+	// A distinct-key record on each side of the duplicates, to check the
+	// observable keys still dominate.
+	early := &trace.Record{User: "user-1", ClipURL: "a", StartSec: 1, EndSec: 30, Ordinal: 9}
+	late := &trace.Record{User: "user-1", ClipURL: "a", StartSec: 1, EndSec: 50, Ordinal: 0}
+	dups := []*trace.Record{mk(3), mk(1 << 32), mk(2), mk(1<<32 | 1)}
+
+	perms := [][]*trace.Record{
+		{late, dups[0], dups[1], early, dups[2], dups[3]},
+		{dups[3], dups[2], dups[1], dups[0], late, early},
+		{dups[1], early, dups[3], late, dups[0], dups[2]},
+	}
+	var want []int64
+	for pi, perm := range perms {
+		merged := append([]*trace.Record(nil), perm...)
+		mergeShardRecords(merged)
+		if merged[0] != early || merged[len(merged)-1] != late {
+			t.Fatalf("perm %d: observable keys no longer dominate the sort", pi)
+		}
+		var ords []int64
+		for _, r := range merged[1 : len(merged)-1] {
+			ords = append(ords, r.Ordinal)
+		}
+		for i := 1; i < len(ords); i++ {
+			if ords[i-1] >= ords[i] {
+				t.Fatalf("perm %d: duplicate-key records not in ordinal order: %v", pi, ords)
+			}
+		}
+		if pi == 0 {
+			want = ords
+		} else if !equalInt64s(ords, want) {
+			t.Fatalf("perm %d merged to %v, perm 0 to %v — merge order depends on input order", pi, ords, want)
+		}
+	}
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApportionArrivalsProperty drives the largest-remainder apportionment
+// across a sweep of budgets and partition shapes and checks its invariants:
+// the shares sum exactly to the budget, and every share is within one of
+// the exact proportional entitlement. A previous implementation wrapped a
+// too-large shortfall around the remainder ranking with k%len — silently
+// double-crediting cells instead of surfacing the broken arithmetic the
+// shortfall would have implied; apportionArrivals now panics on any
+// shortfall the floors cannot explain.
+func TestApportionArrivalsProperty(t *testing.T) {
+	shapes := [][]int{
+		{8},
+		{8, 8, 8},
+		{1, 2, 3, 4, 5},
+		{5, 1, 1, 1},
+		{3, 3, 2},
+		{1, 1, 1, 1, 1, 1, 1},
+	}
+	for _, shape := range shapes {
+		pool := 0
+		var memberSets [][]int
+		for _, n := range shape {
+			members := make([]int, n)
+			for i := range members {
+				members[i] = pool + i
+			}
+			memberSets = append(memberSets, members)
+			pool += n
+		}
+		for _, total := range []int{0, 1, 7, 60, 61, 997, 5000} {
+			out := apportionArrivals(total, memberSets, pool)
+			sum := 0
+			for i, got := range out {
+				sum += got
+				exact := float64(total) * float64(len(memberSets[i])) / float64(pool)
+				if d := float64(got) - exact; d < -1 || d > 1 {
+					t.Errorf("shape %v total %d: cell %d got %d, exact share %.3f (off by %.3f)",
+						shape, total, i, got, exact, d)
+				}
+			}
+			if sum != total {
+				t.Errorf("shape %v total %d: shares sum to %d", shape, total, sum)
+			}
 		}
 	}
 }

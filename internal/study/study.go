@@ -79,11 +79,11 @@ type Options struct {
 	// Shards splits the world across that many cores: hosts are partitioned
 	// into per-shard clocks and event heaps synchronized with conservative
 	// lookahead (netsim.Fabric). 0 keeps the classic single-threaded engine.
-	// Sharding requires an open-loop Workload, is incompatible with Dynamics
-	// (the dynamics layer mutates global state mid-run) and with the
-	// "leastloaded" Selection policy (its live load probe would read another
-	// shard's mutable state). For a fixed seed the output is byte-identical
-	// for every Shards >= 1.
+	// Sharding requires an open-loop Workload and composes with every
+	// Dynamics profile (one compiled schedule shared read-only across the
+	// shards) and every Selection policy ("leastloaded" reads
+	// lookahead-delayed load gossip instead of live counters). For a fixed
+	// seed the output is byte-identical for every Shards >= 1.
 	Shards int
 	// StaggerWindow spreads user start times (default 90 minutes). Overlap
 	// creates shared-bottleneck load at servers.
@@ -160,16 +160,8 @@ func (o Options) validate() error {
 	if o.Shards < 0 {
 		return fmt.Errorf("study: Shards must be >= 0, got %d", o.Shards)
 	}
-	if o.Shards > 0 {
-		if !o.OpenLoop() {
-			return fmt.Errorf("study: Shards %d needs an open-loop Workload; the closed panel runs single-threaded", o.Shards)
-		}
-		if o.Dynamics != "" {
-			return fmt.Errorf("study: Shards is incompatible with Dynamics %q (the dynamics layer mutates global network state)", o.Dynamics)
-		}
-		if o.Selection == "leastloaded" {
-			return fmt.Errorf("study: Selection %q is incompatible with Shards (the live load probe reads other shards' state)", o.Selection)
-		}
+	if o.Shards > 0 && !o.OpenLoop() {
+		return fmt.Errorf("study: Shards %d needs an open-loop Workload; the closed panel runs single-threaded", o.Shards)
 	}
 	if !o.OpenLoop() {
 		// Every open-loop knob is meaningless on the closed panel; accept

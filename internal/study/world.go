@@ -69,6 +69,9 @@ type World struct {
 	fab        *netsim.Fabric
 	factories  []*SessionFactory
 	shardSinks []*trace.Collector
+	// loads[s][ai] is shard s's gossip-delayed view of server ai's session
+	// count (gossip.go); nil unless the selection policy reads load.
+	loads [][]int
 }
 
 // clockFor returns the clock driving shard's events; shard -1 is the

@@ -77,6 +77,14 @@ type Record struct {
 	// time-series sketch is built from these.
 	StartSec float64 `json:"start_s,omitempty"`
 	EndSec   float64 `json:"end_s,omitempty"`
+
+	// Ordinal is the session's partition-invariant arrival stamp (the
+	// owning arrival cell's ordinal and the session's per-cell launch
+	// count), used by the sharded engine's record merge as a total-order
+	// tiebreak when two records agree on every sort key above. It is
+	// deliberately excluded from the CSV columns: it identifies a launch,
+	// not an observable of the study.
+	Ordinal int64 `json:"-"`
 }
 
 // Header is the CSV column order.

@@ -287,6 +287,9 @@ func (c *simTCP) oldestInflight() *tcpSeg {
 // peer and ACKs for our own segments.
 func (c *simTCP) onPacket(pkt *netsim.Packet) {
 	if c.closed {
+		// A closed conn consumes nothing; shard-transit copies still must go
+		// back to the pool (a no-op for classic originals).
+		c.stack.net.ReleaseTransit(pkt.Payload)
 		return
 	}
 	switch m := pkt.Payload.(type) {
@@ -295,11 +298,14 @@ func (c *simTCP) onPacket(pkt *netsim.Packet) {
 	case *tcpAck:
 		c.onAck(m)
 		// The ACK has been fully consumed; recycle it to the stack that
-		// created it. ACKs the network dropped (or that arrived on a closed
-		// conn) just get collected, as are shard-transit copies — their
-		// origin is nil, because a snapshot was never part of any pool.
+		// created it. A shard-transit copy has a nil origin — it was never
+		// part of any ACK pool — and recycles through the transit pool
+		// instead. ACKs from another world (cross-net tests) just get
+		// collected.
 		if m.origin != nil && m.origin.net == c.stack.net {
 			putAck(m)
+		} else {
+			c.stack.net.ReleaseTransit(m)
 		}
 	}
 }
@@ -316,22 +322,36 @@ func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
 			c.onEstablished()
 		}
 		c.pump()
+		c.stack.net.ReleaseTransit(seg)
 		return
 	case seg.syn:
-		return // listeners handle SYNs; a connected socket ignores them
+		// Listeners handle SYNs; a connected socket ignores them.
+		c.stack.net.ReleaseTransit(seg)
+		return
 	case seg.fin:
 		// Peer closed: release our resources too, or an abandoned
 		// server-side conn would retransmit into the void forever.
 		c.closed = true
 		c.teardown()
+		c.stack.net.ReleaseTransit(seg)
 		return
 	}
 
-	// Data segment: buffer, deliver in order, and ACK cumulatively.
+	// Data segment: buffer, deliver in order, and ACK cumulatively. The ACK
+	// echo fields are captured up front: once the segment is released (or
+	// delivered — an application callback may itself send, re-leasing the
+	// pooled snapshot), its fields are no longer ours to read.
+	ackTS, ackEchoOK := seg.ts, !seg.rexmit
+	// Old and duplicate segments are dropped — and, as with every drop on
+	// the receive path, a shard-transit copy goes straight back to the pool.
 	if seg.seq >= c.rcvNext {
 		if _, dup := c.reorder[seg.seq]; !dup {
 			c.reorder[seg.seq] = seg
+		} else {
+			c.stack.net.ReleaseTransit(seg)
 		}
+	} else {
+		c.stack.net.ReleaseTransit(seg)
 	}
 	for {
 		next, ok := c.reorder[c.rcvNext]
@@ -344,10 +364,21 @@ func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
 		if c.recv != nil {
 			c.recv(next.payload, next.size)
 		}
+		// The application callback has consumed the payload synchronously
+		// (the receiver contract in each payload package's transit.go);
+		// recycle the segment snapshot and its nested payload snapshot.
+		c.stack.net.ReleaseTransit(next)
 	}
 	ack := c.stack.getAck()
-	ack.cumAck, ack.ts, ack.echoOK = c.rcvNext, seg.ts, !seg.rexmit
+	ack.cumAck, ack.ts, ack.echoOK = c.rcvNext, ackTS, ackEchoOK
 	c.stack.sendPooled(c.laddr, pkt.From, c.stack.hostID, pkt.FromID, ackSize, ack)
+	if c.stack.net.Sharded() {
+		// Sharded sends snapshot the payload synchronously inside Send, so
+		// the original never travels: recycle it now. (Classic keeps the
+		// recycle-at-consumer path in onPacket, where the original itself
+		// is what arrives.)
+		putAck(ack)
+	}
 }
 
 func (c *simTCP) onAck(a *tcpAck) {

@@ -2,24 +2,75 @@ package transport
 
 import "realtracer/internal/netsim"
 
-// Shard-transit snapshots (netsim.Transferable). In a sharded world every
-// packet payload is deep-copied at the WAN edge — value semantics standing in
-// for real serialization — so no shard reads memory another shard mutates.
-// The TCP wire types carry two pieces of sender-private state that must not
-// travel: seg.conn (the sender's conn identity, written for routing and never
-// read by the receive path) and ack.origin (the free-list the ACK recycles
-// to; a copy is garbage, not a pooled object, so its origin is nil and
-// onPacket skips the recycle).
+// Shard-transit snapshots (netsim.Transferable / TransitReleasable). In a
+// sharded world every packet payload is deep-copied at the WAN edge — value
+// semantics standing in for real serialization — so no shard reads memory
+// another shard mutates. The TCP wire types carry two pieces of
+// sender-private state that must not travel: seg.conn (the sender's conn
+// identity, written for routing and never read by the receive path) and
+// ack.origin (the free-list the ACK recycles to; a copy is not that pooled
+// object, so its origin is nil and onPacket recycles it through the transit
+// pool instead).
+//
+// Snapshots are leased from the sending shard's transit pool and released
+// by the receiving conn at every consume and drop point of its segment
+// machinery; the transit flag is false on every original, which makes the
+// release calls no-ops on the classic path.
 
-func (s *tcpSeg) TransitCopy() any {
-	cp := *s
+var (
+	segTransitClass = netsim.RegisterTransitClass()
+	ackTransitClass = netsim.RegisterTransitClass()
+)
+
+// TransitCopy implements netsim.Transferable. The nested payload is
+// snapshotted recursively through the same pool.
+func (s *tcpSeg) TransitCopy(tp *netsim.TransitPool) any {
+	var cp *tcpSeg
+	if v := tp.Get(segTransitClass); v != nil {
+		cp = v.(*tcpSeg)
+	} else {
+		cp = &tcpSeg{}
+	}
+	*cp = *s
 	cp.conn = nil
-	cp.payload = netsim.CopyPayload(s.payload)
-	return &cp
+	cp.transit = true
+	cp.payload = netsim.CopyPayload(tp, s.payload)
+	return cp
 }
 
-func (a *tcpAck) TransitCopy() any {
-	cp := *a
+// TransitRelease implements netsim.TransitReleasable, releasing the nested
+// payload snapshot along with the segment.
+func (s *tcpSeg) TransitRelease(tp *netsim.TransitPool) {
+	if !s.transit {
+		return
+	}
+	s.transit = false
+	if s.payload != nil {
+		netsim.ReleaseTransit(tp, s.payload)
+		s.payload = nil
+	}
+	tp.Put(segTransitClass, s)
+}
+
+// TransitCopy implements netsim.Transferable.
+func (a *tcpAck) TransitCopy(tp *netsim.TransitPool) any {
+	var cp *tcpAck
+	if v := tp.Get(ackTransitClass); v != nil {
+		cp = v.(*tcpAck)
+	} else {
+		cp = &tcpAck{}
+	}
+	*cp = *a
 	cp.origin = nil
-	return &cp
+	cp.transit = true
+	return cp
+}
+
+// TransitRelease implements netsim.TransitReleasable.
+func (a *tcpAck) TransitRelease(tp *netsim.TransitPool) {
+	if !a.transit {
+		return
+	}
+	a.transit = false
+	tp.Put(ackTransitClass, a)
 }

@@ -158,13 +158,15 @@ type tcpSeg struct {
 	size    int
 	ts      time.Duration // sender timestamp for RTT sampling
 	rexmit  bool
+	transit bool // true on a leased shard-transit copy; false on originals
 }
 
 type tcpAck struct {
-	cumAck uint64 // next expected seq
-	ts     time.Duration
-	echoOK bool
-	origin *Stack // free-list this ACK recycles to
+	cumAck  uint64 // next expected seq
+	ts      time.Duration
+	echoOK  bool
+	origin  *Stack // free-list this ACK recycles to
+	transit bool   // true on a leased shard-transit copy; false on originals
 }
 
 // Listen installs a TCP listener on port. For every handshake the accept
@@ -177,6 +179,10 @@ func (s *Stack) Listen(port int, accept func(Conn)) (stop func()) {
 	// each retry would fork a fresh server-side session.
 	seen := make(map[netsim.Addr]*simTCP)
 	s.net.Register(laddr, func(pkt *netsim.Packet) {
+		// The listener consumes everything it receives synchronously, so a
+		// shard-transit copy can be recycled on every exit (a no-op for
+		// classic originals and for stray non-SYN payloads that are none).
+		defer s.net.ReleaseTransit(pkt.Payload)
 		seg, ok := pkt.Payload.(*tcpSeg)
 		if !ok || !seg.syn {
 			return
@@ -238,6 +244,10 @@ func (s *Stack) DialTCP(raddr string, cb func(Conn, error)) {
 func (s *Stack) ListenUDP(port int, recv func(from string, payload any, size int)) *UDPPort {
 	p := &UDPPort{stack: s, laddr: s.addr(port)}
 	s.net.Register(p.laddr, func(pkt *netsim.Packet) {
+		// recv consumes the datagram synchronously (the receiver contract in
+		// each payload package's transit.go), so a shard-transit copy is
+		// recycled as soon as it returns — and on the closed-port drop too.
+		defer s.net.ReleaseTransit(pkt.Payload)
 		if p.closed {
 			return
 		}
@@ -254,6 +264,9 @@ func (s *Stack) DialUDP(raddr string) Conn {
 	ra := netsim.Addr(raddr)
 	c := &simUDP{stack: s, laddr: s.ephemeral(), raddr: ra, raddrID: s.net.Intern(ra.Host())}
 	s.net.Register(c.laddr, func(pkt *netsim.Packet) {
+		// Same synchronous-consumption contract as ListenUDP: recycle the
+		// shard-transit copy on every exit, consumed or dropped.
+		defer s.net.ReleaseTransit(pkt.Payload)
 		if c.closed || c.recv == nil {
 			return
 		}
