@@ -19,17 +19,25 @@
 // With dynamics off, output is byte-identical to a build without the layer.
 //
 // The discrete-event core is zero-allocation in steady state: host names
-// intern to dense IDs with path state in an ID-indexed grid, packets and
-// clock events recycle through free-lists (delivery is scheduled as the
-// Packet itself implementing simclock.EventHandler — no closures on the hot
-// path), the scheduler is a concrete 4-ary heap, and the engines' per-packet
-// bookkeeping is amortized O(1). One delivered UDP datagram costs ~45ns and
-// zero allocations (BenchmarkPacketHopUDP, guarded by the alloc-budget test
-// in internal/transport). Everything stays bit-for-bit deterministic — RNG
-// draw order and FIFO tie-breaking are part of the contract, pinned by the
-// golden figures snapshot — so hot-path changes must keep output
-// byte-identical. Profile with `study -cpuprofile/-memprofile`; the perf
-// trajectory lives in the BENCH_pr*.json files.
+// intern to dense IDs with path state in an ID-indexed grid and each host
+// carrying a dense port table (no per-packet map lookups), link and
+// bottleneck rates precompute to bits/sec at configuration time, and
+// packets and clock events recycle through free-lists (delivery is
+// scheduled as the Packet itself implementing simclock.EventHandler — no
+// closures on the hot path). The scheduler is a hierarchical timing wheel
+// (six levels of 64 slots at a ~131µs tick) with a small 4-ary near heap
+// preserving exact (time, sequence) firing order, so arming is O(1) and a
+// recurring timer re-armed from inside Fire reuses the just-fired event
+// slot; the old 4-ary heap remains compiled-in as a differential oracle
+// that CI replays random traces against under -race. One delivered UDP
+// datagram costs ~45ns and zero allocations (BenchmarkPacketHopUDP,
+// guarded by the alloc-budget test in internal/transport). Everything
+// stays bit-for-bit deterministic — RNG draw order, FIFO tie-breaking and
+// every floating-point expression on the packet path are part of the
+// contract, pinned by the golden figures snapshot — so hot-path changes
+// must keep output byte-identical, not merely statistically equivalent.
+// Profile with `study -cpuprofile/-memprofile`; the perf trajectory lives
+// in the BENCH_pr*.json files.
 //
 // The session lifecycle is pooled one level above the packet path: each
 // open-loop user template owns a session bundle — tracer, player, packet

@@ -41,6 +41,34 @@ func (a Addr) Host() string {
 	return s
 }
 
+// Port returns the numeric port component of the address (everything after
+// the final ':'), or 0 when there is no port or it is not a small decimal
+// number. Transports parse an address once per connection and carry the
+// result in Packet.FromPort/ToPort so per-packet delivery can use the dense
+// port table instead of a string-keyed map lookup.
+func (a Addr) Port() int32 {
+	s := string(a)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] != ':' {
+			continue
+		}
+		digits := s[i+1:]
+		if len(digits) == 0 || len(digits) > 7 {
+			return 0
+		}
+		var p int32
+		for j := 0; j < len(digits); j++ {
+			ch := digits[j]
+			if ch < '0' || ch > '9' {
+				return 0
+			}
+			p = p*10 + int32(ch-'0')
+		}
+		return p
+	}
+	return 0
+}
+
 // HostID is a dense interned host identity. The zero HostID means
 // "unresolved"; Send falls back to interning the Addr's host component.
 // A name keeps its HostID forever — across RemoveHost and re-AddHost — so a
@@ -58,10 +86,17 @@ type HostID int32
 //
 // FromID/ToID are optional pre-resolved host identities (see Intern); the
 // transport layer fills them once per connection so the per-packet path skips
-// the name lookups. Zero means "resolve From/To by name".
+// the name lookups. Zero means "resolve From/To by name". FromPort/ToPort
+// are the analogous pre-parsed port components of From/To: a nonzero ToPort
+// lets delivery hit the destination host's dense port table instead of the
+// string-keyed handler map, and FromPort lets a reply path reuse the
+// sender's port without parsing. Zero means "unparsed"; delivery then falls
+// back to the map.
 type Packet struct {
 	From, To     Addr
 	FromID, ToID HostID
+	FromPort     int32
+	ToPort       int32
 	Size         int // bytes on the wire, including all header overhead
 	Payload      any
 
@@ -182,19 +217,75 @@ type host struct {
 	cfg      HostConfig
 	id       HostID
 	handlers map[Addr]Handler
+	// Dense per-port handler table, the per-delivery fast path: ports[p -
+	// portBase] mirrors handlers for every registered addr with a numeric
+	// port. portBase is the lowest port seen so the slice spans only the
+	// host's actual port range (a client's handful of ephemeral ports, a
+	// server's service-to-ephemeral span). Addresses without a parseable
+	// port, or beyond maxPortSpan, live only in the map.
+	portBase int32
+	ports    []Handler
+	// Precomputed access-link rates in bits/sec — kbpsToBitsPerSec of the
+	// fixed config, hoisted out of the per-send path. The config never
+	// changes while a host is attached, and the conversion is a pure
+	// function, so the hoisted value is bit-identical to the inline call.
+	upBps, downBps float64
 	// Fluid drop-tail queues: the virtual time until which each direction of
 	// the access link is busy serving earlier packets.
 	upBusyUntil   time.Duration
 	downBusyUntil time.Duration
 }
 
+// maxPortSpan bounds the dense port table per host: a pathological address
+// span (huge or negative port numbers) falls back to the handler map rather
+// than allocating an enormous slice.
+const maxPortSpan = 1 << 16
+
+// setPort mirrors a registration into the dense port table.
+func (h *host) setPort(p int32, fn Handler) {
+	if len(h.ports) == 0 {
+		h.portBase = p
+	}
+	if p < h.portBase {
+		off := int(h.portBase - p)
+		if off+len(h.ports) > maxPortSpan {
+			return
+		}
+		grown := make([]Handler, off+len(h.ports))
+		copy(grown[off:], h.ports)
+		h.ports = grown
+		h.portBase = p
+	}
+	idx := int(p - h.portBase)
+	if idx >= maxPortSpan {
+		return
+	}
+	for idx >= len(h.ports) {
+		h.ports = append(h.ports, nil)
+	}
+	h.ports[idx] = fn
+}
+
+// clearPort removes a registration from the dense port table.
+func (h *host) clearPort(p int32) {
+	if idx := int(p - h.portBase); idx >= 0 && idx < len(h.ports) {
+		h.ports[idx] = nil
+	}
+}
+
 type pairKey struct{ from, to HostID }
 
 // pathState carries the per-ordered-pair wide-area state.
 type pathState struct {
-	route        Route
-	busyUntil    time.Duration // fluid queue at the route bottleneck
-	congestion   float64       // current cross-traffic level in [0,1)
+	route     Route
+	busyUntil time.Duration // fluid queue at the route bottleneck
+	// capBps is kbpsToBitsPerSec(route.CapacityKbps), hoisted at path
+	// creation: route capacity never changes afterwards (the dynamics layer
+	// scales eff.capFactor instead, and SetCongestionMean touches only the
+	// congestion moments), and the conversion is pure, so the precomputed
+	// value is bit-identical to the inline call it replaces.
+	capBps       float64
+	congestion   float64 // current cross-traffic level in [0,1)
 	lastResample time.Duration
 
 	// Dynamics-layer state (dynamics.go): which schedule events match this
@@ -239,6 +330,9 @@ type Network struct {
 	transit  TransitPool // shard-transit payload free-lists (transit.go)
 
 	dyn *dynState // nil unless SetDynamics installed a schedule
+	// dynScratch backs dynApply's pointer return; single-threaded per
+	// network (per shard), so one slot suffices.
+	dynScratch dynEffect
 
 	// Sharded execution (fabric.go). fab is nil on the classic path. When a
 	// Network belongs to a Fabric it shares the frozen interning tables and
@@ -338,11 +432,13 @@ func (n *Network) AddHost(cfg HostConfig) {
 	if k := len(n.hostFree); k > 0 {
 		h = n.hostFree[k-1]
 		n.hostFree = n.hostFree[:k-1]
-		*h = host{handlers: h.handlers}
+		*h = host{handlers: h.handlers, ports: h.ports[:0]}
 	} else {
 		h = &host{handlers: make(map[Addr]Handler)}
 	}
 	h.cfg, h.id = cfg, id
+	h.upBps = kbpsToBitsPerSec(cfg.Access.UpKbps)
+	h.downBps = kbpsToBitsPerSec(cfg.Access.DownKbps)
 	n.hostTab[id] = h
 }
 
@@ -358,6 +454,9 @@ func (n *Network) RemoveHost(name string) {
 	h := n.hostTab[id]
 	n.hostTab[id] = nil
 	clear(h.handlers)
+	clear(h.ports)
+	h.ports = h.ports[:0]
+	h.portBase = 0
 	n.hostFree = append(n.hostFree, h)
 	if n.grid != nil {
 		if int(id) <= n.stride {
@@ -397,12 +496,18 @@ func (n *Network) Register(addr Addr, h Handler) {
 		panic("netsim: Register on unknown host " + addr.Host())
 	}
 	hst.handlers[addr] = h
+	if p := addr.Port(); p > 0 {
+		hst.setPort(p, h)
+	}
 }
 
 // Unregister removes the handler for addr.
 func (n *Network) Unregister(addr Addr) {
 	if hst := n.hostByAddr(addr); hst != nil {
 		delete(hst.handlers, addr)
+		if p := addr.Port(); p > 0 {
+			hst.clearPort(p)
+		}
 	}
 }
 
@@ -432,6 +537,7 @@ func (n *Network) release(pkt *Packet) {
 	}
 	pkt.From, pkt.To = "", ""
 	pkt.FromID, pkt.ToID = 0, 0
+	pkt.FromPort, pkt.ToPort = 0, 0
 	pkt.Size = 0
 	pkt.Payload = nil
 	pkt.net = nil
@@ -439,14 +545,25 @@ func (n *Network) release(pkt *Packet) {
 	n.free = append(n.free, pkt)
 }
 
-// path returns (creating if needed) the ordered-pair path state.
+// path returns (creating if needed) the ordered-pair path state. The warm
+// grid hit — every packet after a pair's first — inlines into the caller;
+// creation and the overflow map stay behind pathSlow.
 func (n *Network) path(from, to HostID) *pathState {
+	if n.overflow == nil && int(from) <= n.stride && int(to) <= n.stride {
+		if p := n.grid[(int(from)-1)*n.stride+(int(to)-1)]; p != nil {
+			return p
+		}
+	}
+	return n.pathSlow(from, to)
+}
+
+func (n *Network) pathSlow(from, to HostID) *pathState {
 	if n.overflow != nil {
 		k := pairKey{from, to}
 		p, ok := n.overflow[k]
 		if !ok {
 			r := n.routes.Route(n.names[from], n.names[to])
-			p = &pathState{route: r, congestion: clamp01(r.CongestionMean)}
+			p = &pathState{route: r, capBps: kbpsToBitsPerSec(r.CapacityKbps), congestion: clamp01(r.CongestionMean)}
 			n.overflow[k] = p
 		}
 		return p
@@ -458,7 +575,7 @@ func (n *Network) path(from, to HostID) *pathState {
 	p := n.grid[i]
 	if p == nil {
 		r := n.routes.Route(n.names[from], n.names[to])
-		p = &pathState{route: r, congestion: clamp01(r.CongestionMean)}
+		p = &pathState{route: r, capBps: kbpsToBitsPerSec(r.CapacityKbps), congestion: clamp01(r.CongestionMean)}
 		n.grid[i] = p
 	}
 	return p
@@ -510,6 +627,15 @@ const congestionResample = time.Second
 // drawing innovations from rng (the global stream on the classic path, the
 // path-private stream in sharded mode).
 func (n *Network) resampleCongestion(p *pathState, rng *rand.Rand) {
+	// Inlinable guard: between resample boundaries (the per-packet common
+	// case) the caller pays one comparison, not a call into the loop.
+	if p.lastResample+congestionResample > n.Clock.Now() {
+		return
+	}
+	n.resampleCongestionDue(p, rng)
+}
+
+func (n *Network) resampleCongestionDue(p *pathState, rng *rand.Rand) {
 	now := n.Clock.Now()
 	for p.lastResample+congestionResample <= now {
 		p.lastResample += congestionResample
@@ -581,12 +707,15 @@ func (n *Network) Send(pkt *Packet) {
 	n.resampleCongestion(p, rng)
 	// The dynamics layer (dynamics.go) folds every active scheduled event —
 	// outages, ramps, traffic profiles, loss bursts, delay shifts — into one
-	// effect. With no schedule installed this is inert and draw-free. The
+	// effect. With no schedule installed this is inert and draw-free: eff is
+	// nil and every eff-guarded branch below reduces to the identity (a 1.0
+	// capacity factor multiplies exactly, a zero delay adds exactly, so the
+	// nil path is float-for-float the same as an inert effect struct). The
 	// endpoints go by ID: in sharded mode the destination may live on
 	// another shard (dst == nil here), but every interned ID resolves
 	// through the frozen name table on every shard.
 	eff := n.dynApply(p, pkt.FromID, pkt.ToID, rng)
-	if eff.drop {
+	if eff != nil && eff.drop {
 		n.dropped++
 		n.release(pkt)
 		return
@@ -594,9 +723,9 @@ func (n *Network) Send(pkt *Packet) {
 	now := n.Clock.Now()
 	bits := float64(pkt.Size) * 8
 
-	// 1. Source access link uplink: fluid drop-tail queue.
-	upRate := kbpsToBitsPerSec(src.cfg.Access.UpKbps)
-	txUp := durationFromSeconds(bits / upRate)
+	// 1. Source access link uplink: fluid drop-tail queue. upBps is the
+	// hoisted kbpsToBitsPerSec(src.cfg.Access.UpKbps).
+	txUp := durationFromSeconds(bits / src.upBps)
 	start := maxDur(now, src.upBusyUntil)
 	if start-now > src.cfg.Access.QueueDelayMax {
 		n.dropped++
@@ -614,7 +743,7 @@ func (n *Network) Send(pkt *Packet) {
 		n.release(pkt)
 		return
 	}
-	if eff.lossExtra > 0 {
+	if eff != nil && eff.lossExtra > 0 {
 		// Dynamics loss draws come from the dedicated dynamics RNG on the
 		// classic path and from the path's private stream in sharded mode,
 		// mirroring the Gilbert–Elliott transition draws in dynApply.
@@ -629,8 +758,14 @@ func (n *Network) Send(pkt *Packet) {
 		}
 	}
 	if r.CapacityKbps > 0 {
-		cong := clamp01(p.congestion + eff.congAdd)
-		avail := kbpsToBitsPerSec(r.CapacityKbps) * eff.capFactor * (1 - cong)
+		cong := p.congestion
+		capFactor := 1.0
+		if eff != nil {
+			cong = clamp01(cong + eff.congAdd)
+			capFactor = eff.capFactor
+		}
+		// capBps is the hoisted kbpsToBitsPerSec(r.CapacityKbps).
+		avail := p.capBps * capFactor * (1 - cong)
 		if avail < 1 {
 			avail = 1 // a ramped-to-zero bottleneck is a dead link
 		}
@@ -646,7 +781,10 @@ func (n *Network) Send(pkt *Packet) {
 		p.busyUntil = s + tx
 		t = p.busyUntil
 	}
-	t += r.OneWayDelay + eff.delayAdd
+	t += r.OneWayDelay
+	if eff != nil {
+		t += eff.delayAdd
+	}
 	if r.Jitter > 0 {
 		t += time.Duration(rng.Float64() * float64(r.Jitter))
 	}
@@ -669,8 +807,8 @@ func (n *Network) Send(pkt *Packet) {
 	}
 
 	// 3. Destination access link downlink: where modems actually hurt.
-	downRate := kbpsToBitsPerSec(dst.cfg.Access.DownKbps)
-	txDown := durationFromSeconds(bits / downRate)
+	// downBps is the hoisted kbpsToBitsPerSec(dst.cfg.Access.DownKbps).
+	txDown := durationFromSeconds(bits / dst.downBps)
 	arrive := maxDur(t, dst.downBusyUntil)
 	if arrive-t > dst.cfg.Access.QueueDelayMax {
 		n.dropped++
@@ -712,8 +850,7 @@ func (n *Network) deliver(pkt *Packet) {
 		pkt.edge = false
 		t := n.Clock.Now()
 		bits := float64(pkt.Size) * 8
-		downRate := kbpsToBitsPerSec(hst.cfg.Access.DownKbps)
-		txDown := durationFromSeconds(bits / downRate)
+		txDown := durationFromSeconds(bits / hst.downBps)
 		arrive := maxDur(t, hst.downBusyUntil)
 		if arrive-t > hst.cfg.Access.QueueDelayMax {
 			n.dropped++
@@ -725,12 +862,25 @@ func (n *Network) deliver(pkt *Packet) {
 		n.Clock.AtHandler(hst.downBusyUntil+hst.cfg.Access.BaseDelay, pkt)
 		return
 	}
-	h, ok := hst.handlers[pkt.To]
-	if !ok {
-		n.dropped++
-		n.releaseTransitPayload(pkt)
-		n.release(pkt)
-		return
+	// Fast path: conns pre-parse their ports, so the dense per-host table
+	// resolves the handler without hashing the address string. A zero or
+	// out-of-span port (test-constructed packets, portless addresses) falls
+	// back to the map.
+	var h Handler
+	if p := pkt.ToPort; p > 0 {
+		if idx := int(p - hst.portBase); idx >= 0 && idx < len(hst.ports) {
+			h = hst.ports[idx]
+		}
+	}
+	if h == nil {
+		var ok bool
+		h, ok = hst.handlers[pkt.To]
+		if !ok {
+			n.dropped++
+			n.releaseTransitPayload(pkt)
+			n.release(pkt)
+			return
+		}
 	}
 	n.delivered++
 	h(pkt)

@@ -43,6 +43,10 @@ type streamSession struct {
 	ctrl    ratecontrol.Controller
 	dataTCP transport.Conn
 	dataUDP transport.Conn // port-backed view for UDP sends, peer resolved once
+	// backlogProbe is dataTCP's QueueDepth view, resolved once at bind time:
+	// pace() consults it per frame, and an interface type assertion in that
+	// loop showed up in the campaign CPU profile.
+	backlogProbe interface{ QueueDepth() int }
 
 	src *media.FrameSource
 	// srcStore is the pooled frame-source object behind src: src doubles
@@ -179,6 +183,7 @@ func (x *checkArm) Fire(time.Duration) { (*streamSession)(x).check() }
 
 func (sess *streamSession) bindTCPData(conn transport.Conn) {
 	sess.dataTCP = conn
+	sess.backlogProbe, _ = conn.(interface{ QueueDepth() int })
 	conn.SetReceiver(func(payload any, _ int) {
 		pkt, ok := payload.(*rdt.Packet)
 		if !ok {
@@ -258,8 +263,8 @@ func (sess *streamSession) pace() {
 		// speed; never pace past it (plus a catch-up margin) — blasting a
 		// DSL line at 1.25x its ceiling just manufactures queue loss.
 		rate := sess.ctrl.RateKbps()
-		if cap := sess.maxKbps * 1.15; rate > cap {
-			rate = cap
+		if ceiling := sess.maxKbps * 1.15; rate > ceiling {
+			rate = ceiling
 		}
 		sess.budget += rate * 1000 / 8 * paceQuantum.Seconds()
 		const maxBudget = 64 * 1024
@@ -284,11 +289,9 @@ func (sess *streamSession) pace() {
 		if sess.mediaPos > elapsed+ahead {
 			break // far enough ahead of the client
 		}
-		if sess.spec.Protocol == "tcp" {
-			if backlog, ok := sess.dataTCP.(interface{ QueueDepth() int }); ok {
-				if backlog.QueueDepth() > tcpBacklogHigh {
-					break // transport saturated; try again next quantum
-				}
+		if sess.spec.Protocol == "tcp" && sess.backlogProbe != nil {
+			if sess.backlogProbe.QueueDepth() > tcpBacklogHigh {
+				break // transport saturated; try again next quantum
 			}
 		}
 		var frame media.Frame
@@ -511,11 +514,10 @@ func (sess *streamSession) checkTCP() {
 	if !sess.srv.cfg.SureStream || sess.dataTCP == nil {
 		return
 	}
-	backlog, ok := sess.dataTCP.(interface{ QueueDepth() int })
-	if !ok {
+	if sess.backlogProbe == nil {
 		return // real sockets: no backlog signal, no switching
 	}
-	depth := backlog.QueueDepth()
+	depth := sess.backlogProbe.QueueDepth()
 	// "ahead" is how much media the transport has absorbed beyond realtime.
 	// A backlog while comfortably ahead is just the startup burst draining;
 	// a backlog while behind means TCP cannot sustain the encoding.

@@ -1,0 +1,199 @@
+package simclock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The timing wheel's correctness contract is bit-exact equivalence with the
+// 4-ary heap it replaced: same firing sequence, same Fired/Pending counters,
+// same Now, for any trace of arms, cancels, re-arms and run calls. The heap
+// stays compiled-in behind NewHeap as the oracle; these tests replay random
+// traces through both engines in lockstep.
+
+// tracePair drives one wheel clock and one heap clock with identical inputs
+// and records each engine's firing log as (label, time) strings.
+type tracePair struct {
+	w, h       *Clock
+	wlog, hlog []string
+}
+
+func newTracePair() *tracePair { return &tracePair{w: New(), h: NewHeap()} }
+
+func (p *tracePair) handlers(label int) (wh, hh EventHandler) {
+	wh = &funcHandler{fn: func(now time.Duration) { p.wlog = append(p.wlog, fmt.Sprintf("%d@%d", label, now)) }}
+	hh = &funcHandler{fn: func(now time.Duration) { p.hlog = append(p.hlog, fmt.Sprintf("%d@%d", label, now)) }}
+	return
+}
+
+func (p *tracePair) check(t *testing.T, tag string) {
+	t.Helper()
+	if len(p.wlog) != len(p.hlog) {
+		t.Fatalf("%s: wheel fired %d events, heap %d", tag, len(p.wlog), len(p.hlog))
+	}
+	for i := range p.wlog {
+		if p.wlog[i] != p.hlog[i] {
+			t.Fatalf("%s: firing sequence diverges at %d: wheel %q vs heap %q", tag, i, p.wlog[i], p.hlog[i])
+		}
+	}
+	if p.w.Fired() != p.h.Fired() {
+		t.Fatalf("%s: Fired %d vs %d", tag, p.w.Fired(), p.h.Fired())
+	}
+	if p.w.Pending() != p.h.Pending() {
+		t.Fatalf("%s: Pending %d vs %d", tag, p.w.Pending(), p.h.Pending())
+	}
+	if p.w.Now() != p.h.Now() {
+		t.Fatalf("%s: Now %v vs %v", tag, p.w.Now(), p.h.Now())
+	}
+	wa, wok := p.w.NextAt()
+	ha, hok := p.h.NextAt()
+	if wa != ha || wok != hok {
+		t.Fatalf("%s: NextAt (%v,%v) vs (%v,%v)", tag, wa, wok, ha, hok)
+	}
+}
+
+// randomDelay spans every wheel level and the overflow heap: most delays are
+// short (the pace-tick regime), a tail reaches hours, days, and past the
+// wheel's ~104-day top span, and exact ties are common.
+func randomDelay(rng *rand.Rand) time.Duration {
+	switch rng.Intn(10) {
+	case 0:
+		return 0 // immediate: same-timestamp FIFO
+	case 1, 2, 3:
+		return time.Duration(rng.Intn(2000)) * 100 * time.Microsecond // sub-tick to level 1
+	case 4, 5, 6:
+		return time.Duration(rng.Intn(5000)) * time.Millisecond // level 1-2
+	case 7:
+		return time.Duration(rng.Intn(100)) * time.Hour // level 4-5
+	case 8:
+		return time.Duration(rng.Intn(300)) * 24 * time.Hour // top level and beyond
+	default:
+		return time.Duration(rng.Int63n(int64(200 * 365 * 24 * time.Hour))) // deep overflow
+	}
+}
+
+// TestWheelMatchesHeap replays random arm/cancel/re-arm/Step/Run traces
+// through the wheel and the heap oracle and requires identical firing
+// sequences and counters at every checkpoint.
+func TestWheelMatchesHeap(t *testing.T) {
+	traces := 60
+	ops := 400
+	if testing.Short() {
+		traces = 12
+	}
+	for seed := int64(0); seed < int64(traces); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := newTracePair()
+		type pair struct{ w, h Timer }
+		var timers []pair
+		label := 0
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // pooled handler arm
+				d := randomDelay(rng)
+				wh, hh := p.handlers(label)
+				label++
+				timers = append(timers, pair{p.w.AfterHandler(d, wh), p.h.AfterHandler(d, hh)})
+			case 3: // closure arm at an absolute time, possibly in the past
+				at := p.w.Now() + randomDelay(rng) - 50*time.Millisecond
+				wl, hl := p.handlers(label)
+				label++
+				p.w.At(at, func() { wl.Fire(p.w.Now()) })
+				p.h.At(at, func() { hl.Fire(p.h.Now()) })
+			case 4: // cancel a random handle (live, stale, or already cancelled)
+				if len(timers) == 0 {
+					continue
+				}
+				j := rng.Intn(len(timers))
+				if timers[j].w.Active() != timers[j].h.Active() {
+					t.Fatalf("seed %d op %d: Active() diverges for timer %d", seed, i, j)
+				}
+				timers[j].w.Cancel()
+				timers[j].h.Cancel()
+			case 5, 6: // bounded run
+				d := randomDelay(rng)
+				p.w.RunFor(d)
+				p.h.RunFor(d)
+			case 7: // single step
+				ws := p.w.Step()
+				hs := p.h.Step()
+				if ws != hs {
+					t.Fatalf("seed %d op %d: Step returned %v vs %v", seed, i, ws, hs)
+				}
+			case 8: // window protocol probe, as the shard fabric drives it
+				h := p.w.Now() + randomDelay(rng)
+				p.w.RunBefore(h)
+				p.h.RunBefore(h)
+			case 9: // re-arm from inside Fire: the recurring-timer fast path
+				d := randomDelay(rng)
+				reps := rng.Intn(4) + 1
+				tick := time.Duration(rng.Intn(200)+1) * time.Millisecond
+				wl, hl := p.handlers(label)
+				label++
+				var wr, hr *rearmTick
+				wr = &rearmTick{c: p.w, log: wl, left: reps, tick: tick}
+				hr = &rearmTick{c: p.h, log: hl, left: reps, tick: tick}
+				p.w.AfterHandler(d, wr)
+				p.h.AfterHandler(d, hr)
+			}
+			if i%50 == 0 {
+				p.check(t, fmt.Sprintf("seed %d op %d", seed, i))
+			}
+		}
+		p.w.Run()
+		p.h.Run()
+		p.check(t, fmt.Sprintf("seed %d drained", seed))
+		if p.w.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after Run", seed, p.w.Pending())
+		}
+	}
+}
+
+// rearmTick re-arms itself a fixed number of times from inside Fire,
+// exercising the firing-slot reuse path on the wheel and the plain
+// release/obtain path on the heap oracle.
+type rearmTick struct {
+	c    *Clock
+	log  EventHandler
+	left int
+	tick time.Duration
+}
+
+func (r *rearmTick) Fire(now time.Duration) {
+	r.log.Fire(now)
+	if r.left--; r.left > 0 {
+		r.c.AfterHandler(r.tick, r)
+	}
+}
+
+// TestWheelOverflowOrdering pins the overflow heap's interaction with the
+// wheel: events beyond the wheel's ~104-day span must interleave correctly
+// with near-term events, including events scheduled between the two ranges
+// after time has advanced.
+func TestWheelOverflowOrdering(t *testing.T) {
+	p := newTracePair()
+	day := 24 * time.Hour
+	delays := []time.Duration{
+		150 * day, time.Millisecond, 104 * day, 500 * day,
+		time.Second, 105 * day, 0, 103 * day,
+	}
+	for i, d := range delays {
+		wh, hh := p.handlers(i)
+		p.w.AfterHandler(d, wh)
+		p.h.AfterHandler(d, hh)
+	}
+	p.w.RunFor(104 * day)
+	p.h.RunFor(104 * day)
+	p.check(t, "mid horizon")
+	// From the advanced cursor, formerly-overflow times are now wheelable.
+	for i, d := range []time.Duration{time.Minute, 40 * day, 500 * day} {
+		wh, hh := p.handlers(100 + i)
+		p.w.AfterHandler(d, wh)
+		p.h.AfterHandler(d, hh)
+	}
+	p.w.Run()
+	p.h.Run()
+	p.check(t, "drained")
+}

@@ -171,10 +171,12 @@ func TestPropertyOrderedExecution(t *testing.T) {
 	}
 }
 
-// TestRunUntilReapsCancelledHead: a cancelled event sitting at the head of
-// the queue is popped and discarded by RunUntil — even when its timestamp
-// lies beyond the horizon, since the reap happens before the horizon check.
-func TestRunUntilReapsCancelledHead(t *testing.T) {
+// TestPendingCountsLiveEventsOnly: Pending reports live events at the
+// moment Cancel is called, regardless of where the tombstone sits in the
+// queue or when it is lazily reaped. (Regression test: Pending used to
+// return the raw queue length, counting cancelled tombstones until the
+// scheduler happened to drain past them.)
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
 	c := New()
 	fired := false
 	e := c.At(time.Second, func() { fired = true })
@@ -183,42 +185,44 @@ func TestRunUntilReapsCancelledHead(t *testing.T) {
 		t.Fatalf("pending=%d want 2", c.Pending())
 	}
 	e.Cancel()
-	// Cancelled but not yet reaped: still counted.
-	if c.Pending() != 2 {
-		t.Fatalf("pending=%d want 2 (cancelled events count until reaped)", c.Pending())
+	// Cancel-then-Pending: the tombstone is excluded immediately, before
+	// any Run/Step gets a chance to reap it.
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d want 1 immediately after Cancel", c.Pending())
+	}
+	e.Cancel() // idempotent: must not double-decrement
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d want 1 after repeated Cancel", c.Pending())
 	}
 	c.RunUntil(2 * time.Second)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
 	if c.Pending() != 1 {
-		t.Fatalf("pending=%d want 1 after RunUntil reaped the cancelled head", c.Pending())
+		t.Fatalf("pending=%d want 1 (only the live 5s event)", c.Pending())
 	}
 	if c.Now() != 2*time.Second {
 		t.Fatalf("Now=%v want 2s", c.Now())
 	}
-	// A cancelled head beyond the horizon is reaped too.
 	far.Cancel()
-	c.RunUntil(3 * time.Second)
 	if c.Pending() != 0 {
-		t.Fatalf("pending=%d want 0 (beyond-horizon cancelled head reaped)", c.Pending())
+		t.Fatalf("pending=%d want 0 after cancelling the last live event", c.Pending())
 	}
 }
 
-// TestPendingCountsCancelledBehindLiveEvents: a cancelled event that is not
-// at the queue head is NOT reaped by RunUntil — Pending includes it until
-// the queue drains past it, and Fired never counts it.
-func TestPendingCountsCancelledBehindLiveEvents(t *testing.T) {
+// TestPendingExcludesCancelledBehindLiveEvents: a cancelled event buried
+// behind a live head leaves Pending at Cancel time even though its
+// tombstone is reaped only when the queue drains past it; Fired never
+// counts it.
+func TestPendingExcludesCancelledBehindLiveEvents(t *testing.T) {
 	c := New()
 	var order []string
 	c.At(3*time.Second, func() { order = append(order, "live") })
 	e := c.At(5*time.Second, func() { order = append(order, "cancelled") })
 	e.Cancel()
 	c.RunUntil(time.Second)
-	// Head (3s, live) is beyond the horizon, so nothing was popped: the
-	// cancelled 5s event is still buried and still counted.
-	if c.Pending() != 2 {
-		t.Fatalf("pending=%d want 2 (cancelled-but-unreaped behind a live head)", c.Pending())
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d want 1 (buried tombstone excluded)", c.Pending())
 	}
 	if !e.Cancelled() {
 		t.Fatal("Cancelled() lost the flag while queued")
@@ -236,6 +240,22 @@ func TestPendingCountsCancelledBehindLiveEvents(t *testing.T) {
 	// The clock advances to the horizon, not to the cancelled event's time.
 	if c.Now() != 10*time.Second {
 		t.Fatalf("Now=%v want 10s", c.Now())
+	}
+}
+
+// TestCancelAfterFireLeavesPendingIntact: a post-fire Cancel (stale by
+// definition) must not decrement the live count of unrelated events.
+func TestCancelAfterFireLeavesPendingIntact(t *testing.T) {
+	c := New()
+	e := c.After(time.Millisecond, func() {})
+	c.After(time.Second, func() {})
+	c.RunUntil(10 * time.Millisecond)
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d want 1", c.Pending())
+	}
+	e.Cancel()
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d want 1: post-fire Cancel must not decrement", c.Pending())
 	}
 }
 

@@ -25,6 +25,8 @@ type simTCP struct {
 	laddr   netsim.Addr
 	raddr   netsim.Addr
 	raddrID netsim.HostID // resolved once; refreshed when raddr changes
+	lport   int32         // pre-parsed port of laddr
+	rport   int32         // pre-parsed port of raddr; refreshed with raddr
 
 	established   bool
 	closed        bool
@@ -81,6 +83,8 @@ func newSimTCP(s *Stack, laddr, raddr netsim.Addr) *simTCP {
 		laddr:    laddr,
 		raddr:    raddr,
 		raddrID:  s.net.Intern(raddr.Host()),
+		lport:    laddr.Port(),
+		rport:    raddr.Port(),
 		inflight: make(map[uint64]*tcpSeg),
 		reorder:  make(map[uint64]*tcpSeg),
 		cwnd:     2,
@@ -193,7 +197,7 @@ func (c *simTCP) transmit(seg *tcpSeg, rexmit bool) {
 }
 
 func (c *simTCP) sendRaw(seg *tcpSeg, size int) {
-	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, size+segHeader, seg)
+	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, c.lport, c.rport, size+segHeader, seg)
 }
 
 // sendSyn and sendSynAck emit slab-backed handshake segments.
@@ -317,6 +321,10 @@ func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
 		// source (the listener accepted on an ephemeral port).
 		c.raddr = pkt.From
 		c.raddrID = pkt.FromID
+		c.rport = pkt.FromPort
+		if c.rport == 0 {
+			c.rport = pkt.From.Port()
+		}
 		c.established = true
 		if c.onEstablished != nil {
 			c.onEstablished()
@@ -371,7 +379,7 @@ func (c *simTCP) onSegment(seg *tcpSeg, pkt *netsim.Packet) {
 	}
 	ack := c.stack.getAck()
 	ack.cumAck, ack.ts, ack.echoOK = c.rcvNext, ackTS, ackEchoOK
-	c.stack.sendPooled(c.laddr, pkt.From, c.stack.hostID, pkt.FromID, ackSize, ack)
+	c.stack.sendPooled(c.laddr, pkt.From, c.stack.hostID, pkt.FromID, c.lport, pkt.FromPort, ackSize, ack)
 	if c.stack.net.Sharded() {
 		// Sharded sends snapshot the payload synchronously inside Send, so
 		// the original never travels: recycle it now. (Classic keeps the

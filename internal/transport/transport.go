@@ -125,11 +125,15 @@ func putAck(a *tcpAck) {
 	}
 }
 
-// sendPooled ships one pooled packet with pre-resolved endpoints.
-func (s *Stack) sendPooled(from, to netsim.Addr, fromID, toID netsim.HostID, size int, payload any) {
+// sendPooled ships one pooled packet with pre-resolved endpoints. fromPort
+// and toPort are the pre-parsed port components of from/to (zero when
+// unknown); a nonzero toPort lets delivery resolve the destination handler
+// through the dense per-host port table instead of the address map.
+func (s *Stack) sendPooled(from, to netsim.Addr, fromID, toID netsim.HostID, fromPort, toPort int32, size int, payload any) {
 	pkt := s.net.Obtain()
 	pkt.From, pkt.To = from, to
 	pkt.FromID, pkt.ToID = fromID, toID
+	pkt.FromPort, pkt.ToPort = fromPort, toPort
 	pkt.Size = size
 	pkt.Payload = payload
 	s.net.Send(pkt)
@@ -242,18 +246,17 @@ func (s *Stack) DialTCP(raddr string, cb func(Conn, error)) {
 // sender's address. The returned port object sends datagrams and can be
 // closed.
 func (s *Stack) ListenUDP(port int, recv func(from string, payload any, size int)) *UDPPort {
-	p := &UDPPort{stack: s, laddr: s.addr(port)}
+	p := &UDPPort{stack: s, laddr: s.addr(port), lport: int32(port)}
 	s.net.Register(p.laddr, func(pkt *netsim.Packet) {
 		// recv consumes the datagram synchronously (the receiver contract in
 		// each payload package's transit.go), so a shard-transit copy is
 		// recycled as soon as it returns — and on the closed-port drop too.
-		defer s.net.ReleaseTransit(pkt.Payload)
-		if p.closed {
-			return
-		}
-		if recv != nil {
+		// Released explicitly on each exit: this closure runs once per
+		// delivered datagram, and a defer is measurable there.
+		if !p.closed && recv != nil {
 			recv(string(pkt.From), pkt.Payload, pkt.Size-udpHeader)
 		}
+		s.net.ReleaseTransit(pkt.Payload)
 	})
 	return p
 }
@@ -263,17 +266,15 @@ func (s *Stack) ListenUDP(port int, recv func(from string, payload any, size int
 func (s *Stack) DialUDP(raddr string) Conn {
 	ra := netsim.Addr(raddr)
 	c := &simUDP{stack: s, laddr: s.ephemeral(), raddr: ra, raddrID: s.net.Intern(ra.Host())}
+	c.lport, c.rport = c.laddr.Port(), ra.Port()
 	s.net.Register(c.laddr, func(pkt *netsim.Packet) {
 		// Same synchronous-consumption contract as ListenUDP: recycle the
-		// shard-transit copy on every exit, consumed or dropped.
-		defer s.net.ReleaseTransit(pkt.Payload)
-		if c.closed || c.recv == nil {
-			return
+		// shard-transit copy on every exit, consumed or dropped (explicit,
+		// not deferred — per-datagram path).
+		if !c.closed && c.recv != nil && pkt.From == c.raddr {
+			c.recv(pkt.Payload, pkt.Size-udpHeader)
 		}
-		if pkt.From != c.raddr {
-			return // connected semantics: ignore strangers
-		}
-		c.recv(pkt.Payload, pkt.Size-udpHeader)
+		s.net.ReleaseTransit(pkt.Payload)
 	})
 	return c
 }
@@ -282,6 +283,7 @@ func (s *Stack) DialUDP(raddr string) Conn {
 type UDPPort struct {
 	stack  *Stack
 	laddr  netsim.Addr
+	lport  int32 // pre-parsed port of laddr
 	closed bool
 }
 
@@ -294,7 +296,8 @@ func (p *UDPPort) SendTo(addr string, payload any, size int) error {
 	if p.closed {
 		return ErrClosed
 	}
-	p.stack.sendPooled(p.laddr, netsim.Addr(addr), p.stack.hostID, 0, size+udpHeader, payload)
+	to := netsim.Addr(addr)
+	p.stack.sendPooled(p.laddr, to, p.stack.hostID, 0, p.lport, to.Port(), size+udpHeader, payload)
 	return nil
 }
 
@@ -314,14 +317,15 @@ func (p *UDPPort) Close() error {
 // returned Conn panics; servers demultiplex by sender address instead.
 func (p *UDPPort) ConnFor(raddr string) Conn {
 	ra := netsim.Addr(raddr)
-	return &udpPortConn{port: p, raddr: raddr, to: ra, toID: p.stack.net.Intern(ra.Host())}
+	return &udpPortConn{port: p, raddr: raddr, to: ra, toID: p.stack.net.Intern(ra.Host()), toPort: ra.Port()}
 }
 
 type udpPortConn struct {
-	port  *UDPPort
-	raddr string
-	to    netsim.Addr
-	toID  netsim.HostID
+	port   *UDPPort
+	raddr  string
+	to     netsim.Addr
+	toID   netsim.HostID
+	toPort int32 // pre-parsed port of to
 }
 
 func (c *udpPortConn) Send(payload any, size int) error {
@@ -329,7 +333,7 @@ func (c *udpPortConn) Send(payload any, size int) error {
 		return ErrClosed
 	}
 	s := c.port.stack
-	s.sendPooled(c.port.laddr, c.to, s.hostID, c.toID, size+udpHeader, payload)
+	s.sendPooled(c.port.laddr, c.to, s.hostID, c.toID, c.port.lport, c.toPort, size+udpHeader, payload)
 	return nil
 }
 func (c *udpPortConn) SetReceiver(func(any, int)) {
@@ -347,6 +351,8 @@ type simUDP struct {
 	laddr   netsim.Addr
 	raddr   netsim.Addr
 	raddrID netsim.HostID
+	lport   int32 // pre-parsed port of laddr
+	rport   int32 // pre-parsed port of raddr
 	recv    func(any, int)
 	closed  bool
 }
@@ -355,7 +361,7 @@ func (c *simUDP) Send(payload any, size int) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, size+udpHeader, payload)
+	c.stack.sendPooled(c.laddr, c.raddr, c.stack.hostID, c.raddrID, c.lport, c.rport, size+udpHeader, payload)
 	return nil
 }
 func (c *simUDP) SetReceiver(fn func(any, int)) { c.recv = fn }

@@ -31,9 +31,11 @@ type Clock interface {
 	// AfterHandler schedules h.Fire to run once, d from now. Unlike After,
 	// the simulated implementation allocates nothing: the pending event is
 	// pooled and the returned Handle is a value type, so engines that re-arm
-	// timers on every packet (players, pacers) stay allocation-free. Handler
-	// identity is the caller's: pass a pointer to long-lived state, never a
-	// fresh closure-like box.
+	// timers on every packet (players, pacers) stay allocation-free. Re-arming
+	// from inside Fire is the cheapest path of all — the simulator's timing
+	// wheel reuses the just-fired event slot, making a recurring timer an O(1)
+	// wheel insert with no heap traffic. Handler identity is the caller's:
+	// pass a pointer to long-lived state, never a fresh closure-like box.
 	AfterHandler(d time.Duration, h simclock.EventHandler) Handle
 }
 
