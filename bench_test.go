@@ -21,6 +21,7 @@ import (
 	"realtracer/internal/netsim"
 	"realtracer/internal/player"
 	"realtracer/internal/stats"
+	"realtracer/internal/study"
 	"realtracer/internal/trace"
 	"realtracer/internal/transport"
 )
@@ -318,6 +319,77 @@ func benchCampaignDynamics(b *testing.B, family string) {
 // baseline.
 func BenchmarkCampaignDynamicsLossburst(b *testing.B) { benchCampaignDynamics(b, "lossburst") }
 func BenchmarkCampaignDynamicsOutage(b *testing.B)    { benchCampaignDynamics(b, "outage") }
+
+// --- Warm-started campaigns (checkpoint/fork) ---
+
+var (
+	warmForkOnce    sync.Once
+	warmForkHorizon time.Duration
+	warmForkErr     error
+)
+
+// warmForkCalibrate measures (once) the virtual horizon of the warm-fork
+// bench base, so the warm-up instant can sit at 60% of it.
+func warmForkCalibrate(b *testing.B, base core.StudyOptions) time.Duration {
+	b.Helper()
+	warmForkOnce.Do(func() {
+		res, err := core.RunStudy(base)
+		if err != nil {
+			warmForkErr = err
+			return
+		}
+		warmForkHorizon = res.SimDuration
+	})
+	if warmForkErr != nil {
+		b.Fatalf("warm-fork calibration: %v", warmForkErr)
+	}
+	return warmForkHorizon
+}
+
+// BenchmarkCampaignWarmFork is the checkpoint/fork amortization pair
+// (BENCH_pr10.json): an 8-scenario sweep of the reduced study, cold
+// (every scenario pays the full horizon) vs warm-started (one shared
+// prefix to 60% of the horizon, checkpointed once, 8 named forks resumed
+// from the snapshot). Workers is pinned to 1 on both arms so the ratio
+// measures prefix amortization, not parallelism; the theoretical ceiling
+// at these parameters is 8/(0.6+8×0.4) ≈ 2.1x.
+func BenchmarkCampaignWarmFork(b *testing.B) {
+	base := campaign.ReducedBase(9)
+	horizon := warmForkCalibrate(b, base)
+	warmup := horizon * 6 / 10
+
+	b.Run("cold", func(b *testing.B) {
+		scs := campaign.SeedReplicas(base, 10, 8)
+		for i := 0; i < b.N; i++ {
+			sum := campaign.Run(scs, campaign.Config{Workers: 1})
+			if err := sum.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		forks := make([]study.Fork, 8)
+		for i := range forks {
+			forks[i] = study.Fork{Name: fmt.Sprintf("fork-%02d", i)}
+		}
+		var sum *campaign.WarmForkResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			sum, err = campaign.RunWarmForks(base, warmup, forks, campaign.Config{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sum.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ablationPrintf("warmfork",
+			"warm fork: %d forks from one %v prefix (%d-byte snapshot, prefix cost %v of %v total)\n",
+			len(sum.Results), sum.Warmup.Round(time.Second), sum.SnapshotBytes,
+			sum.WarmupElapsed.Round(time.Millisecond), sum.Elapsed.Round(time.Millisecond))
+	})
+}
 
 // --- Ablations (DESIGN.md section 4) ---
 

@@ -7,7 +7,8 @@
 //	      [-json trace.json] [-figure figNN | -figures] [-sites] [-timeline]
 //	      [-sweep NAME|list] [-parallel N] [-dynamics NAME|list] [-intensity K]
 //	      [-workload NAME|list] [-load K] [-arrivals N] [-selection NAME|list]
-//	      [-shards N] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-shards N] [-checkpoint FILE -warmup DUR] [-resume FILE]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no figure flags it prints the campaign's headline numbers. -figure
 // regenerates one figure; -figures all of them; -timeline runs the single-
@@ -42,6 +43,18 @@
 // parallelism is an execution detail, never a result. Requires -workload;
 // composes with every -dynamics profile and every -selection policy
 // (leastloaded selections read lookahead-delayed load gossip).
+//
+// -checkpoint FILE -warmup DUR snapshots the full simulation state at the
+// warm-up instant (simulated time), then continues to completion — the run
+// produces its normal output and leaves a reusable warm-start artifact.
+// -resume FILE replays a snapshot to completion under the options it was
+// written with; its records are byte-identical to the straight-through run.
+// Snapshots are version-stamped with an options hash, so resuming under a
+// mismatched build fails loudly, and world-shaping flags (-seed, -workload,
+// ...) alongside -resume are hard errors: the snapshot's options win. A
+// checkpoint needs the retained-records collector and a classic engine, so
+// -stream and -shards refuse to combine with it. Divergent-scenario forks
+// from one snapshot are the campaign API's job (campaign.RunWarmForks).
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, so hot-path work
 // (the zero-allocation discrete-event core) can keep attacking the profile:
@@ -95,6 +108,9 @@ func main() {
 	arrivals := flag.Int("arrivals", 0, "open-loop session budget (0 = twice the template pool); requires -workload")
 	selection := flag.String("selection", "", "open-loop server-selection policy: pinned, rtt, roundrobin, leastloaded (\"list\" to enumerate); requires -workload")
 	shards := flag.Int("shards", 0, "partition the world across N cores under conservative-lookahead synchronization (0 = classic single-threaded engine; output is byte-identical for every N); requires -workload")
+	checkpointFile := flag.String("checkpoint", "", "snapshot the warm world to this file at the -warmup instant, then continue to completion; requires -warmup")
+	resumeFile := flag.String("resume", "", "replay a -checkpoint snapshot to completion under its own options (incompatible with world-shaping flags)")
+	warmup := flag.Duration("warmup", 0, "simulated-time instant at which -checkpoint snapshots the world (e.g. 10m); requires -checkpoint")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -114,6 +130,9 @@ func main() {
 				fatalf("-%s configures the open-loop engine; give -workload NAME (or -workload list)", dep)
 			}
 		}
+	}
+	if msg := checkpointFlagError(set); msg != "" {
+		fatalf("%s", msg)
 	}
 
 	if *cpuprofile != "" {
@@ -215,7 +234,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "note: retaining every record of a %d-user study; -stream bounds memory by aggregate size\n", *users)
 	}
 
-	res, err := core.RunStudy(opts)
+	var res *core.StudyResult
+	var err error
+	switch {
+	case *resumeFile != "":
+		res, err = runResumed(*resumeFile)
+	case *checkpointFile != "":
+		res, err = runWithCheckpoint(opts, *checkpointFile, *warmup)
+	default:
+		res, err = core.RunStudy(opts)
+	}
 	if err != nil {
 		fatalf("study: %v", err)
 	}

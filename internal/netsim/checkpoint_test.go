@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"realtracer/internal/simclock"
+	"realtracer/internal/snap"
+)
+
+// delivery is one recorded packet arrival.
+type delivery struct {
+	at      time.Duration
+	to      Addr
+	payload int64
+	size    int
+}
+
+// i64Codec persists the test's int64 payloads.
+var i64Codec = PayloadCodec{
+	Encode: func(sw *snap.Writer, v any) error {
+		sw.I64(v.(int64))
+		return sw.Err()
+	},
+	Decode: func(sr *snap.Reader) (any, error) {
+		return sr.I64(), sr.Err()
+	},
+}
+
+// ckptWorld is a tiny two-host world with loss, jitter, a capacity
+// bottleneck, cross-traffic and a dynamics schedule — every draw stream the
+// checkpoint must capture.
+type ckptWorld struct {
+	clock *simclock.Clock
+	net   *Network
+	log   []delivery
+}
+
+func newCkptWorld() *ckptWorld {
+	w := &ckptWorld{clock: simclock.New()}
+	routes := StaticRoute{
+		OneWayDelay:    40 * time.Millisecond,
+		Jitter:         10 * time.Millisecond,
+		LossRate:       0.02,
+		CapacityKbps:   400,
+		CongestionMean: 0.3,
+		CongestionVar:  0.1,
+	}
+	w.net = New(w.clock, routes, 42)
+	w.net.SetDynamics(NewDynamics().
+		LossBurst("*", "*", 100*time.Millisecond, 2*time.Second, 0.3, 0.5, 0.4).
+		Diurnal("a", "*", 0, 0, time.Second, 0.2), 77)
+	w.net.AddHost(HostConfig{Name: "a", Access: DefaultAccessProfile(AccessServer)})
+	w.net.AddHost(HostConfig{Name: "b", Access: DefaultAccessProfile(AccessModem)})
+	record := func(pkt *Packet) {
+		w.log = append(w.log, delivery{w.clock.Now(), pkt.To, pkt.Payload.(int64), pkt.Size})
+	}
+	w.net.Register("a:1", record)
+	w.net.Register("b:1", record)
+	return w
+}
+
+// drive advances the world through send ticks [from, to): each tick advances
+// the clock and offers two packets, one in each direction.
+func (w *ckptWorld) drive(from, to int) {
+	for i := from; i < to; i++ {
+		w.clock.RunUntil(time.Duration(i) * 5 * time.Millisecond)
+		a := w.net.Obtain()
+		a.From, a.To = "a:1", "b:1"
+		a.Size = 500 + (i%7)*100
+		a.Payload = int64(i)
+		w.net.Send(a)
+		b := w.net.Obtain()
+		b.From, b.To = "b:1", "a:1"
+		b.Size = 80
+		b.Payload = int64(-i)
+		w.net.Send(b)
+	}
+}
+
+func checkpointNet(t *testing.T, n *Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := snap.NewWriter(&buf)
+	if err := n.Checkpoint(sw); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := n.CheckpointPackets(sw, i64Codec); err != nil {
+		t.Fatalf("checkpoint packets: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestNetworkCheckpointRoundTrip drives traffic to a mid-flight instant,
+// checkpoints, restores into a freshly built twin, and checks the restored
+// world's remaining deliveries — and its next checkpoint — are identical to
+// the original's.
+func TestNetworkCheckpointRoundTrip(t *testing.T) {
+	const cut, end = 100, 200
+
+	w1 := newCkptWorld()
+	w1.drive(0, cut)
+	snapBytes := checkpointNet(t, w1.net)
+	if w1.clock.Pending() == 0 {
+		t.Fatal("test needs in-flight packets at the checkpoint instant")
+	}
+
+	// Rebuild the static world exactly as a fresh build would, then overlay.
+	w2 := newCkptWorld()
+	w2.clock.Reset(w1.clock.Now(), w1.clock.Seq(), w1.clock.Fired())
+	sr := snap.NewReader(bytes.NewReader(snapBytes))
+	if err := w2.net.Restore(sr, true); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if err := w2.net.RestorePackets(sr, i64Codec); err != nil {
+		t.Fatalf("restore packets: %v", err)
+	}
+	if got, want := w2.clock.Pending(), w1.clock.Pending(); got != want {
+		t.Fatalf("restored %d in-flight packets, original holds %d", got, want)
+	}
+	w2.log = nil
+
+	cutLen := len(w1.log)
+	w1.drive(cut, end)
+	w1.clock.Run()
+	w2.drive(cut, end)
+	w2.clock.Run()
+
+	tail1 := w1.log[cutLen:]
+	if len(tail1) != len(w2.log) {
+		t.Fatalf("resumed run delivered %d packets, straight run %d", len(w2.log), len(tail1))
+	}
+	for i := range tail1 {
+		if tail1[i] != w2.log[i] {
+			t.Fatalf("delivery %d diverged: straight %+v, resumed %+v", i, tail1[i], w2.log[i])
+		}
+	}
+
+	s1, d1, r1 := w1.net.Stats()
+	s2, d2, r2 := w2.net.Stats()
+	if s1 != s2 || d1 != d2 || r1 != r2 {
+		t.Fatalf("stats diverged: straight (%d,%d,%d), resumed (%d,%d,%d)", s1, d1, r1, s2, d2, r2)
+	}
+	if b1, b2 := checkpointNet(t, w1.net), checkpointNet(t, w2.net); !bytes.Equal(b1, b2) {
+		t.Fatalf("post-resume checkpoints differ (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
+// TestNetworkRestoreRejectsInterningMismatch pins the loud-failure contract:
+// restoring into a world whose build interned different names errors instead
+// of silently mis-wiring HostIDs.
+func TestNetworkRestoreRejectsInterningMismatch(t *testing.T) {
+	w1 := newCkptWorld()
+	w1.drive(0, 20)
+	snapBytes := checkpointNet(t, w1.net)
+
+	clock := simclock.New()
+	n2 := New(clock, StaticRoute{}, 42)
+	n2.AddHost(HostConfig{Name: "z", Access: DefaultAccessProfile(AccessServer)})
+	clock.Reset(w1.clock.Now(), w1.clock.Seq(), w1.clock.Fired())
+	err := n2.Restore(snap.NewReader(bytes.NewReader(snapBytes)), false)
+	if err == nil {
+		t.Fatal("restore into a mismatched world succeeded")
+	}
+	if want := "interning mismatch"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"realtracer/internal/detrand"
 )
 
 // This file implements the network-dynamics layer: a Dynamics schedule of
@@ -227,6 +229,9 @@ type dynState struct {
 	spec     *Dynamics
 	compiled []compiledEvent
 	rng      *rand.Rand
+	// drng is rng's draw-counting wrapper (rng aliases drng.Rand), read by
+	// the checkpoint layer; see Network.drng.
+	drng *detrand.Rand
 }
 
 // dynEffect is the folded influence of every active event on one packet.
@@ -254,7 +259,8 @@ func (n *Network) SetDynamics(spec *Dynamics, seed int64) {
 				to:   n.compilePattern(spec.Events[i].To),
 			}
 		}
-		n.dyn = &dynState{spec: spec, compiled: compiled, rng: rand.New(rand.NewSource(seed))}
+		drng := detrand.New(seed)
+		n.dyn = &dynState{spec: spec, compiled: compiled, rng: drng.Rand, drng: drng}
 	}
 	n.forEachPath(func(p *pathState) {
 		p.dynEvents = nil

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"realtracer/internal/detrand"
 	"realtracer/internal/simclock"
 )
 
@@ -311,8 +312,13 @@ const maxGridHosts = 1024
 // Network simulates packet delivery between hosts. Not safe for concurrent
 // use: it shares the single-threaded simclock discipline.
 type Network struct {
-	Clock  *simclock.Clock
-	rng    *rand.Rand
+	Clock *simclock.Clock
+	rng   *rand.Rand
+	// drng is rng's draw-counting wrapper (rng aliases drng.Rand): the
+	// checkpoint layer reads the stream position from it and restores by
+	// replaying the count. The indirection keeps every hot path on the
+	// plain *rand.Rand.
+	drng   *detrand.Rand
 	routes RouteTable
 
 	ids     map[string]HostID // permanent name -> ID interning (1-based)
@@ -355,9 +361,11 @@ func New(clock *simclock.Clock, routes RouteTable, seed int64) *Network {
 	if routes == nil {
 		routes = StaticRoute{}
 	}
+	drng := detrand.New(seed)
 	return &Network{
 		Clock:   clock,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     drng.Rand,
+		drng:    drng,
 		routes:  routes,
 		ids:     make(map[string]HostID),
 		hostTab: make([]*host, 1), // index 0 = HostID zero, unused

@@ -157,7 +157,10 @@ type Player struct {
 	sessID   string
 	desc     session.ClipDesc
 	cseq     int
-	pending  map[int]func(*rtsp.Message)
+	// pending maps an outstanding request's CSeq to the kind of continuation
+	// its response runs. Kinds instead of callbacks: the handshake state
+	// machine is then plain data, which a world checkpoint can serialize.
+	pending map[int]uint8
 
 	state      string        // "setup", "buffering", "playing", "rebuffering", "done"
 	playStart  time.Duration // wall time playout began
@@ -273,7 +276,7 @@ func (x *timeUpArm) Fire(time.Duration)    { (*Player)(x).timeUp() }
 // New builds a Player; Start launches it.
 func New(cfg Config) *Player {
 	p := &Player{
-		pending:         make(map[int]func(*rtsp.Message)),
+		pending:         make(map[int]uint8),
 		haveSeq:         make(map[uint32]*rdt.Data),
 		nackOutstanding: make(map[uint32]int),
 	}
@@ -397,11 +400,18 @@ func (p *Player) Start() {
 	})
 }
 
-func (p *Player) request(m *rtsp.Message, cb func(*rtsp.Message)) {
+// Pending-request kinds: which continuation a response dispatches to.
+const (
+	pendDescribe = 1
+	pendSetup    = 2
+	pendPlay     = 3
+)
+
+func (p *Player) request(m *rtsp.Message, kind uint8) {
 	p.cseq++
 	m.CSeq = p.cseq
-	if cb != nil {
-		p.pending[p.cseq] = cb
+	if kind != 0 {
+		p.pending[p.cseq] = kind
 	}
 	p.ctl.Send(m, m.WireSize())
 }
@@ -412,35 +422,44 @@ func (p *Player) onControl(payload any, _ int) {
 	if !ok || resp.Request {
 		return
 	}
-	cb, ok := p.pending[resp.CSeq]
+	kind, ok := p.pending[resp.CSeq]
 	if !ok {
 		return
 	}
 	delete(p.pending, resp.CSeq)
-	cb(resp)
+	switch kind {
+	case pendDescribe:
+		p.onDescribeResp(resp)
+	case pendSetup:
+		p.onSetupResp(resp)
+	case pendPlay:
+		p.onPlayResp(resp)
+	}
 }
 
 func (p *Player) describe() {
 	req := rtsp.NewRequest(rtsp.MethodDescribe, p.cfg.URL, 0)
-	p.request(req, func(resp *rtsp.Message) {
-		switch resp.Status {
-		case rtsp.StatusOK:
-		case rtsp.StatusUnavailable:
-			p.st.Unavailable = true
-			p.finish(ErrUnavailable)
-			return
-		default:
-			p.finish(fmt.Errorf("player: DESCRIBE failed: %d %s", resp.Status, resp.Reason))
-			return
-		}
-		desc, err := session.ParseClipDesc(resp.Body)
-		if err != nil {
-			p.finish(err)
-			return
-		}
-		p.desc = desc
-		p.setup()
-	})
+	p.request(req, pendDescribe)
+}
+
+func (p *Player) onDescribeResp(resp *rtsp.Message) {
+	switch resp.Status {
+	case rtsp.StatusOK:
+	case rtsp.StatusUnavailable:
+		p.st.Unavailable = true
+		p.finish(ErrUnavailable)
+		return
+	default:
+		p.finish(fmt.Errorf("player: DESCRIBE failed: %d %s", resp.Status, resp.Reason))
+		return
+	}
+	desc, err := session.ParseClipDesc(resp.Body)
+	if err != nil {
+		p.finish(err)
+		return
+	}
+	p.desc = desc
+	p.setup()
 }
 
 // ErrUnavailable marks the clip-temporarily-unavailable outcome of Fig. 10.
@@ -472,56 +491,60 @@ func (p *Player) setup() {
 	req := rtsp.NewRequest(rtsp.MethodSetup, p.cfg.URL, 0)
 	req.Set("Transport", spec.Format())
 	req.Set("Bandwidth", fmt.Sprintf("%d", int(p.cfg.MaxBandwidthKbps)))
-	p.request(req, func(resp *rtsp.Message) {
-		if resp.Status != rtsp.StatusOK {
-			p.finish(fmt.Errorf("player: SETUP failed: %d", resp.Status))
-			return
-		}
-		p.sessID = resp.Get("Session")
-		srvSpec, err := rtsp.ParseTransport(resp.Get("Transport"))
-		if err != nil {
-			p.finish(err)
-			return
-		}
-		if p.cfg.Protocol == transport.TCP {
-			epoch := p.epoch
-			p.cfg.Net.DialTCP(srvSpec.ServerDataAddr, func(c transport.Conn, err error) {
-				if p.epoch != epoch {
-					if c != nil {
-						c.Close()
-					}
-					return
+	p.request(req, pendSetup)
+}
+
+func (p *Player) onSetupResp(resp *rtsp.Message) {
+	if resp.Status != rtsp.StatusOK {
+		p.finish(fmt.Errorf("player: SETUP failed: %d", resp.Status))
+		return
+	}
+	p.sessID = resp.Get("Session")
+	srvSpec, err := rtsp.ParseTransport(resp.Get("Transport"))
+	if err != nil {
+		p.finish(err)
+		return
+	}
+	if p.cfg.Protocol == transport.TCP {
+		epoch := p.epoch
+		p.cfg.Net.DialTCP(srvSpec.ServerDataAddr, func(c transport.Conn, err error) {
+			if p.epoch != epoch {
+				if c != nil {
+					c.Close()
 				}
-				if err != nil {
-					p.finish(err)
-					return
-				}
-				p.data = c
-				p.dataIsMe = true
-				c.SetReceiver(p.onData)
-				hello := &session.DataHello{SessionID: p.sessID}
-				c.Send(hello, len(p.sessID)+1)
-				p.play()
-			})
-			return
-		}
-		p.play()
-	})
+				return
+			}
+			if err != nil {
+				p.finish(err)
+				return
+			}
+			p.data = c
+			p.dataIsMe = true
+			c.SetReceiver(p.onData)
+			hello := &session.DataHello{SessionID: p.sessID}
+			c.Send(hello, len(p.sessID)+1)
+			p.play()
+		})
+		return
+	}
+	p.play()
 }
 
 func (p *Player) play() {
 	req := rtsp.NewRequest(rtsp.MethodPlay, p.cfg.URL, 0)
 	req.Set("Session", p.sessID)
-	p.request(req, func(resp *rtsp.Message) {
-		if resp.Status != rtsp.StatusOK {
-			p.finish(fmt.Errorf("player: PLAY failed: %d", resp.Status))
-			return
-		}
-		p.state = "buffering"
-		p.buffStart = p.cfg.Clock.Now()
-		p.endAt = p.cfg.Clock.AfterHandler(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, (*timeUpArm)(p))
-		p.reportTick = p.cfg.Clock.AfterHandler(reportInterval, (*reportArm)(p))
-	})
+	p.request(req, pendPlay)
+}
+
+func (p *Player) onPlayResp(resp *rtsp.Message) {
+	if resp.Status != rtsp.StatusOK {
+		p.finish(fmt.Errorf("player: PLAY failed: %d", resp.Status))
+		return
+	}
+	p.state = "buffering"
+	p.buffStart = p.cfg.Clock.Now()
+	p.endAt = p.cfg.Clock.AfterHandler(p.cfg.PlayFor+p.cfg.Preroll+maxRebuffer, (*timeUpArm)(p))
+	p.reportTick = p.cfg.Clock.AfterHandler(reportInterval, (*reportArm)(p))
 }
 
 func hostOf(addr string) string {

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"realtracer/internal/media"
+	"realtracer/internal/ratecontrol"
+	"realtracer/internal/rdt"
+	"realtracer/internal/simclock"
+	"realtracer/internal/snap"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// Checkpoint/restore for the server engine. A server's serialized state is:
+//
+//   - the availability/diagnostic counters and the session ID cursor;
+//   - every control connection (including between-session ones reachable
+//     only through the ctlConns track list), each with the ID of the session
+//     it most recently SETUP;
+//   - data connections accepted but not yet bound by a DataHello;
+//   - every streaming session: transport conns, rate controller, frame
+//     source cursor, pace/check timers as (At, seq) records, retransmit
+//     window, FEC accumulation and SureStream switching state.
+//
+// The availability RNG (cfg.Rand) is owned by whoever built the Config — in
+// a study world that is the world itself, which persists the draw count in
+// its own section and hands the restored Server an already-positioned Rand.
+
+func init() {
+	simclock.RegisterEventKind("server.pace", (*paceArm)(nil))
+	simclock.RegisterEventKind("server.check", (*checkArm)(nil))
+}
+
+// sessOrder extracts the numeric part of a "sess-N" ID so sessions serialize
+// in creation order — the order that makes byDataAddr's latest-wins rebuild
+// correct.
+func sessOrder(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "sess-"))
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// Checkpoint writes the server's full state. app encodes application
+// payloads queued inside the server's TCP conns.
+func (s *Server) Checkpoint(sw *snap.Writer, app transport.AppCodec) error {
+	sw.Tag("server")
+	sw.U64(s.describes)
+	sw.U64(s.unavailable)
+	sw.U64(s.played)
+	sw.U64(s.tornDown)
+	sw.Int(s.nextID)
+
+	// Control connections: open ones, plus closed ones a session still
+	// references (DropClient matches on the control conn's remote address, so
+	// losing the link would change churn behavior after a resume).
+	referenced := make(map[*controlConn]bool, len(s.sessions))
+	for _, sess := range s.sessions {
+		if sess.cc != nil {
+			referenced[sess.cc] = true
+		}
+	}
+	ccs := make([]*controlConn, 0, len(s.ctlConns))
+	for _, cc := range s.ctlConns {
+		if !transport.ConnClosed(cc.conn) || referenced[cc] {
+			ccs = append(ccs, cc)
+		}
+	}
+	sort.Slice(ccs, func(i, j int) bool { return ccs[i].conn.LocalAddr() < ccs[j].conn.LocalAddr() })
+	ccIdx := make(map[*controlConn]int, len(ccs))
+	sw.U32(uint32(len(ccs)))
+	for i, cc := range ccs {
+		ccIdx[cc] = i
+		if err := transport.PersistConn(sw, cc.conn, app); err != nil {
+			return err
+		}
+		id := ""
+		if cc.sess != nil {
+			id = cc.sess.id
+		}
+		sw.Str(id)
+	}
+
+	// Data connections still waiting for their hello.
+	pend := make([]transport.Conn, 0, len(s.pendingData))
+	for _, c := range s.pendingData {
+		if !transport.ConnClosed(c) {
+			pend = append(pend, c)
+		}
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i].LocalAddr() < pend[j].LocalAddr() })
+	sw.U32(uint32(len(pend)))
+	for _, c := range pend {
+		if err := transport.PersistConn(sw, c, app); err != nil {
+			return err
+		}
+	}
+
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return sessOrder(ids[i]) < sessOrder(ids[j]) })
+	sw.U32(uint32(len(ids)))
+	for _, id := range ids {
+		if err := s.sessions[id].persist(sw, app, ccIdx); err != nil {
+			return err
+		}
+	}
+	return sw.Err()
+}
+
+// Restore overlays a checkpoint written by Checkpoint onto a freshly started
+// server (Start must have run: the restore re-seeds the live listeners and
+// rebuilds UDP conn views from the bound data port). Restored TCP conns are
+// registered into tbl so in-flight wire segments can resolve against them.
+func (s *Server) Restore(sr *snap.Reader, stack *transport.Stack, app transport.AppCodec, tbl *transport.ConnTable) error {
+	sr.Tag("server")
+	s.describes = sr.U64()
+	s.unavailable = sr.U64()
+	s.played = sr.U64()
+	s.tornDown = sr.U64()
+	s.nextID = sr.Int()
+
+	ncc := int(sr.U32())
+	ccs := make([]*controlConn, 0, ncc)
+	ccSess := make([]string, 0, ncc)
+	for i := 0; i < ncc; i++ {
+		c, err := transport.RestoreConn(sr, stack, app, tbl)
+		if err != nil {
+			return err
+		}
+		cc := &controlConn{srv: s, conn: c}
+		if !transport.ConnClosed(c) {
+			c.SetReceiver(cc.onMessage)
+			if err := stack.RestoreAccepted(s.cfg.ControlPort, c); err != nil {
+				return err
+			}
+		}
+		s.ctlConns = append(s.ctlConns, cc)
+		ccs = append(ccs, cc)
+		ccSess = append(ccSess, sr.Str())
+	}
+
+	npd := int(sr.U32())
+	for i := 0; i < npd; i++ {
+		c, err := transport.RestoreConn(sr, stack, app, tbl)
+		if err != nil {
+			return err
+		}
+		s.watchPendingData(c)
+		if err := stack.RestoreAccepted(s.cfg.DataTCPPort, c); err != nil {
+			return err
+		}
+	}
+
+	ns := int(sr.U32())
+	for i := 0; i < ns; i++ {
+		sess, err := s.restoreSession(sr, stack, app, tbl, ccs)
+		if err != nil {
+			return err
+		}
+		s.sessions[sess.id] = sess
+		// Sessions arrive in creation order, so the latest SETUP for a data
+		// address wins — the same overwrite order the live run produced.
+		if sess.spec.Protocol == "udp" && sess.spec.ClientDataAddr != "" {
+			s.byDataAddr[sess.spec.ClientDataAddr] = sess
+		}
+	}
+	for i, cc := range ccs {
+		if id := ccSess[i]; id != "" {
+			cc.sess = s.sessions[id]
+		}
+	}
+	return sr.Err()
+}
+
+func (sess *streamSession) persist(sw *snap.Writer, app transport.AppCodec, ccIdx map[*controlConn]int) error {
+	sw.Tag("sess")
+	sw.Str(sess.id)
+	sw.Str(sess.clip.URL)
+	sw.Str(sess.spec.Protocol)
+	sw.Str(sess.spec.ClientDataAddr)
+	sw.Str(sess.spec.ServerDataAddr)
+	sw.F64(sess.maxKbps)
+	idx := -1
+	if sess.cc != nil {
+		if i, ok := ccIdx[sess.cc]; ok {
+			idx = i
+		}
+	}
+	sw.Int(idx)
+
+	if sess.dataTCP != nil {
+		sw.Bool(true)
+		if err := transport.PersistConn(sw, sess.dataTCP, app); err != nil {
+			return err
+		}
+	} else {
+		sw.Bool(false)
+	}
+	if sess.ctrl != nil {
+		sw.Bool(true)
+		if err := ratecontrol.Persist(sw, sess.ctrl); err != nil {
+			return err
+		}
+	} else {
+		sw.Bool(false)
+	}
+
+	sw.Int(sess.encIdx)
+	sw.Bool(sess.playing)
+	sw.Bool(sess.stopped)
+	sw.Dur(sess.startAt)
+	sw.Dur(sess.mediaPos)
+	sw.Bool(sess.src != nil)
+	if sess.src != nil {
+		sess.src.Persist(sw)
+	}
+	sess.paceTimer.Persist(sw)
+	sess.checkTimer.Persist(sw)
+
+	sw.U32(sess.videoSeq)
+	sw.U32(sess.audioSeq)
+	sw.F64(sess.budget)
+	sw.U32(uint32(len(sess.fecMeta)))
+	for i := range sess.fecMeta {
+		sess.fecMeta[i].Persist(sw)
+	}
+	sw.U32(sess.fecBase)
+	sess.lastReport.Persist(sw)
+	sw.Bool(sess.haveReport)
+	sw.Int(sess.healthyChecks)
+
+	seqs := make([]uint32, 0, len(sess.sentVideo))
+	for seq := range sess.sentVideo {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	sw.U32(uint32(len(seqs)))
+	for _, seq := range seqs {
+		sess.sentVideo[seq].Persist(sw)
+	}
+	sw.U32(sess.sentFloor)
+	sw.U32(sess.videoFrameCtr)
+	sw.U32(sess.audioFrameCtr)
+
+	sw.Bool(sess.hasPending)
+	if sess.hasPending {
+		persistFrame(sw, sess.pending)
+	}
+
+	sw.Dur(sess.lastUpswitchAt)
+	sw.Dur(sess.nextUpswitchOK)
+	sw.Dur(sess.upswitchHold)
+	sw.Int(sess.upswitchTo)
+	rungs := make([]int, 0, len(sess.failedRungs))
+	for r := range sess.failedRungs {
+		rungs = append(rungs, r)
+	}
+	sort.Ints(rungs)
+	sw.U32(uint32(len(rungs)))
+	for _, r := range rungs {
+		sw.Int(r)
+		sw.Int(sess.failedRungs[r])
+	}
+	sw.Int(sess.switches)
+	return sw.Err()
+}
+
+func (s *Server) restoreSession(sr *snap.Reader, stack *transport.Stack, app transport.AppCodec, tbl *transport.ConnTable, ccs []*controlConn) (*streamSession, error) {
+	sr.Tag("sess")
+	sess := &streamSession{
+		srv:         s,
+		sentVideo:   make(map[uint32]*rdt.Data),
+		failedRungs: make(map[int]int),
+	}
+	sess.id = sr.Str()
+	url := sr.Str()
+	sess.clip = s.cfg.Library.Lookup(url)
+	if sess.clip == nil && sr.Err() == nil {
+		return nil, fmt.Errorf("server: restore: unknown clip %q", url)
+	}
+	sess.spec.Protocol = sr.Str()
+	sess.spec.ClientDataAddr = sr.Str()
+	sess.spec.ServerDataAddr = sr.Str()
+	sess.maxKbps = sr.F64()
+	if idx := sr.Int(); idx >= 0 && idx < len(ccs) {
+		sess.cc = ccs[idx]
+	}
+
+	if sr.Bool() {
+		c, err := transport.RestoreConn(sr, stack, app, tbl)
+		if err != nil {
+			return nil, err
+		}
+		// bindTCPData minus maybeStart: streaming position is overlaid below,
+		// not restarted.
+		sess.dataTCP = c
+		sess.backlogProbe, _ = c.(interface{ QueueDepth() int })
+		if !transport.ConnClosed(c) {
+			c.SetReceiver(func(payload any, _ int) {
+				pkt, ok := payload.(*rdt.Packet)
+				if !ok {
+					return
+				}
+				sess.onFeedback(pkt)
+			})
+			if err := stack.RestoreAccepted(s.cfg.DataTCPPort, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sr.Bool() {
+		ctrl, err := ratecontrol.Restore(sr)
+		if err != nil {
+			return nil, err
+		}
+		sess.ctrl = ctrl
+	}
+
+	sess.encIdx = sr.Int()
+	sess.playing = sr.Bool()
+	sess.stopped = sr.Bool()
+	sess.startAt = sr.Dur()
+	sess.mediaPos = sr.Dur()
+	if sr.Bool() {
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		sess.srcStore = &media.FrameSource{}
+		sess.srcStore.RestoreState(sess.clip, sess.clip.Encodings[sess.encIdx], sr)
+		sess.src = sess.srcStore
+	}
+	sess.paceTimer = vclock.RestoreHandle(sr, s.cfg.Clock, (*paceArm)(sess))
+	sess.checkTimer = vclock.RestoreHandle(sr, s.cfg.Clock, (*checkArm)(sess))
+
+	sess.videoSeq = sr.U32()
+	sess.audioSeq = sr.U32()
+	sess.budget = sr.F64()
+	nf := int(sr.U32())
+	for i := 0; i < nf && sr.Err() == nil; i++ {
+		sess.fecMeta = append(sess.fecMeta, rdt.RestoreRepairMeta(sr))
+	}
+	sess.fecBase = sr.U32()
+	rdt.RestoreReportInto(sr, &sess.lastReport)
+	sess.haveReport = sr.Bool()
+	sess.healthyChecks = sr.Int()
+
+	nsv := int(sr.U32())
+	for i := 0; i < nsv && sr.Err() == nil; i++ {
+		d := sess.arena.NewData()
+		rdt.RestoreDataInto(sr, d)
+		sess.sentVideo[d.Seq] = d
+	}
+	sess.sentFloor = sr.U32()
+	sess.videoFrameCtr = sr.U32()
+	sess.audioFrameCtr = sr.U32()
+
+	sess.hasPending = sr.Bool()
+	if sess.hasPending {
+		sess.pending = restoreFrame(sr)
+	}
+
+	sess.lastUpswitchAt = sr.Dur()
+	sess.nextUpswitchOK = sr.Dur()
+	sess.upswitchHold = sr.Dur()
+	sess.upswitchTo = sr.Int()
+	nr := int(sr.U32())
+	for i := 0; i < nr && sr.Err() == nil; i++ {
+		r := sr.Int()
+		sess.failedRungs[r] = sr.Int()
+	}
+	sess.switches = sr.Int()
+
+	if sess.spec.Protocol == "udp" {
+		sess.dataUDP = s.udpPort.ConnFor(sess.spec.ClientDataAddr)
+	}
+	return sess, sr.Err()
+}
+
+func persistFrame(sw *snap.Writer, f media.Frame) {
+	sw.Bool(f.Video)
+	sw.Int(f.Index)
+	sw.Dur(f.MediaTime)
+	sw.Int(f.Size)
+	sw.Bool(f.Keyframe)
+}
+
+func restoreFrame(sr *snap.Reader) media.Frame {
+	var f media.Frame
+	f.Video = sr.Bool()
+	f.Index = sr.Int()
+	f.MediaTime = sr.Dur()
+	f.Size = sr.Int()
+	f.Keyframe = sr.Bool()
+	return f
+}

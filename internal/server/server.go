@@ -94,6 +94,16 @@ type Server struct {
 	// scratch and packet arena so steady-state churn stops allocating.
 	sessFree []*streamSession
 
+	// ctlConns tracks every accepted control connection so a world checkpoint
+	// can enumerate them — a control connection between sessions (after a
+	// DESCRIBE, or between playlist entries) is reachable from nowhere else.
+	// Closed, unreferenced entries are swept lazily as the list grows.
+	ctlConns []*controlConn
+
+	// pendingData tracks accepted TCP data connections whose DataHello has
+	// not arrived yet: no session references them until the hello binds them.
+	pendingData []transport.Conn
+
 	// Counters for Figure 10 and diagnostics.
 	describes   uint64
 	unavailable uint64
@@ -200,6 +210,33 @@ func (s *Server) Counters() (describes, unavailable, played, torndown uint64) {
 func (s *Server) acceptControl(conn transport.Conn) {
 	cc := &controlConn{srv: s, conn: conn}
 	conn.SetReceiver(cc.onMessage)
+	s.trackControl(cc)
+}
+
+// trackControl records a control connection for checkpoint enumeration,
+// sweeping closed unreferenced entries when the list has grown well past the
+// live session count. The sweep trigger depends only on simulation state, so
+// whether a checkpoint is ever taken cannot perturb the run.
+func (s *Server) trackControl(cc *controlConn) {
+	if len(s.ctlConns) >= 2*len(s.sessions)+64 {
+		referenced := make(map[*controlConn]bool, len(s.sessions))
+		for _, sess := range s.sessions {
+			if sess.cc != nil {
+				referenced[sess.cc] = true
+			}
+		}
+		kept := s.ctlConns[:0]
+		for _, old := range s.ctlConns {
+			if !transport.ConnClosed(old.conn) || referenced[old] {
+				kept = append(kept, old)
+			}
+		}
+		for i := len(kept); i < len(s.ctlConns); i++ {
+			s.ctlConns[i] = nil
+		}
+		s.ctlConns = kept
+	}
+	s.ctlConns = append(s.ctlConns, cc)
 }
 
 type controlConn struct {
@@ -335,9 +372,27 @@ func (s *Server) removeSession(sess *streamSession) {
 // acceptDataTCP waits for the DataHello that binds a data connection to its
 // session.
 func (s *Server) acceptDataTCP(conn transport.Conn) {
+	s.watchPendingData(conn)
+}
+
+// watchPendingData installs the hello-waiting receiver on a data connection
+// and tracks it until the hello binds it to a session — the shared path of
+// accept and checkpoint restore.
+func (s *Server) watchPendingData(conn transport.Conn) {
+	kept := s.pendingData[:0]
+	for _, c := range s.pendingData {
+		if !transport.ConnClosed(c) {
+			kept = append(kept, c)
+		}
+	}
+	for i := len(kept); i < len(s.pendingData); i++ {
+		s.pendingData[i] = nil
+	}
+	s.pendingData = append(kept, conn)
 	conn.SetReceiver(func(payload any, size int) {
 		switch m := payload.(type) {
 		case *session.DataHello:
+			s.untrackPendingData(conn)
 			sess, ok := s.sessions[m.SessionID]
 			if !ok {
 				conn.Close()
@@ -350,6 +405,15 @@ func (s *Server) acceptDataTCP(conn transport.Conn) {
 			// hello never arrived.
 		}
 	})
+}
+
+func (s *Server) untrackPendingData(conn transport.Conn) {
+	for i, c := range s.pendingData {
+		if c == conn {
+			s.pendingData = append(s.pendingData[:i], s.pendingData[i+1:]...)
+			return
+		}
+	}
 }
 
 // onUDPData demultiplexes datagrams from clients (reports, buffer state) to

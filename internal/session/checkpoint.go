@@ -1,0 +1,96 @@
+package session
+
+import (
+	"fmt"
+
+	"realtracer/internal/rdt"
+	"realtracer/internal/rtsp"
+	"realtracer/internal/snap"
+	"realtracer/internal/transport"
+)
+
+// Snapshot tags for the application payloads a checkpoint can encounter on
+// the wire or queued inside transport conns.
+const (
+	snapRTSP  = 1
+	snapRDT   = 2
+	snapHello = 3
+)
+
+// SnapCodec returns the application-payload codec for world checkpoints:
+// the three session-level payload types, each serialized field-exactly by
+// its own package.
+func SnapCodec() transport.AppCodec {
+	return transport.AppCodec{
+		Encode: func(sw *snap.Writer, payload any) error {
+			switch m := payload.(type) {
+			case *rtsp.Message:
+				sw.U8(snapRTSP)
+				m.Persist(sw)
+			case *rdt.Packet:
+				sw.U8(snapRDT)
+				m.Persist(sw)
+			case *DataHello:
+				sw.U8(snapHello)
+				sw.Str(m.SessionID)
+			default:
+				return fmt.Errorf("session: cannot snapshot payload type %T", payload)
+			}
+			return sw.Err()
+		},
+		Decode: func(sr *snap.Reader) (any, error) {
+			switch tag := sr.U8(); tag {
+			case snapRTSP:
+				return rtsp.RestoreMessage(sr), sr.Err()
+			case snapRDT:
+				return rdt.RestorePacket(sr)
+			case snapHello:
+				return &DataHello{SessionID: sr.Str()}, sr.Err()
+			default:
+				if sr.Err() != nil {
+					return nil, sr.Err()
+				}
+				return nil, fmt.Errorf("session: unknown snapshot payload tag %d", tag)
+			}
+		},
+	}
+}
+
+// Persist writes the clip description field-exactly.
+func (d *ClipDesc) Persist(sw *snap.Writer) {
+	sw.Tag("desc")
+	sw.Str(d.Title)
+	sw.Dur(d.Duration)
+	sw.Bool(d.Scalable)
+	sw.Bool(d.Live)
+	sw.U32(uint32(len(d.Encodings)))
+	for _, e := range d.Encodings {
+		sw.F64(e.TotalKbps)
+		sw.F64(e.AudioKbps)
+		sw.F64(e.FrameRate)
+		sw.Int(e.Width)
+		sw.Int(e.Height)
+	}
+}
+
+// RestoreClipDesc reads a record written by ClipDesc.Persist.
+func RestoreClipDesc(sr *snap.Reader) ClipDesc {
+	sr.Tag("desc")
+	d := ClipDesc{
+		Title:    sr.Str(),
+		Duration: sr.Dur(),
+		Scalable: sr.Bool(),
+		Live:     sr.Bool(),
+	}
+	n := int(sr.U32())
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		d.Encodings = append(d.Encodings, EncodingDesc{
+			TotalKbps: sr.F64(),
+			AudioKbps: sr.F64(),
+			FrameRate: sr.F64(),
+			Width:     sr.Int(),
+			Height:    sr.Int(),
+		})
+	}
+	return d
+}

@@ -73,6 +73,9 @@ func (e *Event) Cancel() {
 		// whichever queue structure holds it when the scheduler next touches
 		// that slot.
 		e.clk.live--
+		if !e.pooled {
+			e.clk.closures--
+		}
 		e.clk = nil
 	}
 }
@@ -124,8 +127,12 @@ type Clock struct {
 	now   time.Duration
 	seq   uint64
 	fired uint64
-	live  int      // scheduled, uncancelled, not-yet-fired events
-	free  []*Event // recycled pooled events
+	live  int // scheduled, uncancelled, not-yet-fired events
+	// closures counts the live pending closure (At/After) events. Typed
+	// handler events round-trip through a checkpoint; closures cannot, so
+	// Checkpoint drains the clock until this reaches zero (checkpoint.go).
+	closures int
+	free     []*Event // recycled pooled events
 	// firing holds the pooled event currently executing its handler: if the
 	// handler re-arms (the recurring-timer pattern: pace ticks, switch
 	// checks, RTO, gossip), the schedule reuses this slot directly instead
@@ -209,6 +216,9 @@ func (c *Clock) schedule(t time.Duration, fn func(), h EventHandler, pooled bool
 	e.pooled = pooled
 	c.seq++
 	c.live++
+	if !pooled {
+		c.closures++
+	}
 	if c.heapMode {
 		c.heapPush(e)
 	} else {
@@ -349,6 +359,7 @@ func (c *Clock) Step() bool {
 		}
 		return true
 	}
+	c.closures--
 	if e.h != nil {
 		e.h.Fire(c.now)
 	} else {

@@ -1,0 +1,195 @@
+// Package snap is the binary codec substrate for world checkpoints: a
+// Writer/Reader pair over primitive little-endian fields with section tags
+// for structural validation. The format favours debuggability over size —
+// fixed-width integers, length-prefixed byte strings, and a tag byte
+// sequence that makes a reader desynchronized from its writer fail fast
+// with the section names of both sides, instead of decoding garbage.
+//
+// Errors are sticky: after the first failure every Read returns zero values
+// and Err reports the original cause, so codec code reads whole sections
+// without per-field error plumbing and checks once at the end.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Writer serializes primitive fields to an io.Writer. Errors are sticky;
+// check Err (or Flush) once after writing.
+type Writer struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// Tag writes a section marker. Readers consume it with Tag and fail loudly
+// on mismatch — the checkpoint format's structural checksum.
+func (w *Writer) Tag(name string) { w.Str(name) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a fixed-width uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a fixed-width uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a fixed-width int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 bit pattern — bit-exact round-trip, including NaN
+// payloads and signed zeros.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Dur writes a time.Duration as its int64 nanosecond count.
+func (w *Writer) Dur(v time.Duration) { w.I64(int64(v)) }
+
+// Bytes writes a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.write(b)
+}
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) { w.Bytes([]byte(s)) }
+
+// Reader deserializes fields written by Writer. Errors are sticky: after
+// the first failure every read returns the zero value and Err reports the
+// cause.
+type Reader struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first read error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records err (if none is recorded yet) and poisons further reads.
+func (r *Reader) Fail(err error) {
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) read(b []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = fmt.Errorf("snap: short read: %w", err)
+		return false
+	}
+	return true
+}
+
+// Tag consumes a section marker and fails the reader when it does not
+// match name.
+func (r *Reader) Tag(name string) {
+	got := r.Str()
+	if r.err == nil && got != name {
+		r.err = fmt.Errorf("snap: section %q, want %q (snapshot and reader disagree on layout)", got, name)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.read(r.buf[:1]) {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a fixed-width uint32.
+func (r *Reader) U32() uint32 {
+	if !r.read(r.buf[:4]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	if !r.read(r.buf[:8]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I64 reads a fixed-width int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Dur reads a time.Duration.
+func (r *Reader) Dur() time.Duration { return time.Duration(r.I64()) }
+
+// maxBytes bounds one length-prefixed field; a corrupt length fails the
+// read instead of attempting a multi-gigabyte allocation.
+const maxBytes = 1 << 30
+
+// Bytes reads a length-prefixed byte string.
+func (r *Reader) Bytes() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxBytes {
+		r.err = fmt.Errorf("snap: field length %d exceeds limit", n)
+		return nil
+	}
+	b := make([]byte, n)
+	if n > 0 && !r.read(b) {
+		return nil
+	}
+	return b
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }

@@ -1,0 +1,611 @@
+// World checkpoint/fork: pay the warm-up once, fork N scenarios from one
+// snapshot.
+//
+// Checkpoint serializes a running classic (unsharded) world — clock
+// scalars, every pending typed event, the network core, server sessions,
+// tracer/player bundles, workload cursors, the collected records and the
+// position of every RNG stream — into a version-stamped snapshot. Resume
+// rebuilds the world deterministically from the snapshot's Options (the
+// build path replays exactly the draws the original build made), resets
+// the clock, overlays the persisted state and re-arms every event at its
+// original (time, seq) slot, so an exact resume is byte-identical to a
+// straight-through run of the same seed. A named fork instead re-derives
+// every RNG stream from the fork name and may change the scenario knobs
+// that do not reshape the built world (dynamics, selection policy,
+// intensities, controller), so N forks of one warm snapshot diverge
+// deterministically.
+package study
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"realtracer/internal/detrand"
+	"realtracer/internal/session"
+	"realtracer/internal/simclock"
+	"realtracer/internal/snap"
+	"realtracer/internal/trace"
+	"realtracer/internal/transport"
+)
+
+func init() {
+	simclock.RegisterEventKind("study.arrive", (*arriveArm)(nil))
+	simclock.RegisterEventKind("study.depart", (*departArm)(nil))
+}
+
+// snapMagic stamps the snapshot format. Bump the trailing digit on any
+// layout change: a resume under a mismatched build fails on the magic
+// before misreading a single field.
+const snapMagic = "RTSNAP1"
+
+// drainCap bounds the virtual time Checkpoint may burn draining closure
+// events (in-flight TCP dial callbacks, the one cold path still scheduled
+// as a closure). Live dials resolve within a round-trip, so a drain that
+// needs more than this is a leak, not a wait.
+const drainCap = 30 * time.Second
+
+// Fork names a divergent scenario to resume from a checkpoint. The nil
+// Fork (or the zero value) is an exact resume: every RNG stream replays
+// its draw count and the run completes byte-identical to never having
+// stopped. A named fork re-derives every stream from Name, and the set
+// fields override the snapshot's Options. Only knobs that do not reshape
+// the built world may change; anything else (seed, population, workload
+// profile, horizon) fails NewWorld's validation or the interning check.
+type Fork struct {
+	Name string
+
+	Dynamics          *string
+	DynamicsIntensity *float64
+	DynamicsSeed      *int64
+	Controller        *string
+	Selection         *string
+	WorkloadIntensity *float64
+	CongestionScale   *float64
+}
+
+// apply overlays the fork's deltas onto opt and reports whether the
+// dynamics schedule changed (which invalidates checkpointed per-path
+// chain state).
+func (f *Fork) apply(opt *Options) (dynChanged bool) {
+	if f == nil {
+		return false
+	}
+	if f.Dynamics != nil && *f.Dynamics != opt.Dynamics {
+		opt.Dynamics = *f.Dynamics
+		dynChanged = true
+	}
+	if f.DynamicsIntensity != nil && *f.DynamicsIntensity != opt.DynamicsIntensity {
+		opt.DynamicsIntensity = *f.DynamicsIntensity
+		dynChanged = true
+	}
+	if f.DynamicsSeed != nil && *f.DynamicsSeed != opt.DynamicsSeed {
+		opt.DynamicsSeed = *f.DynamicsSeed
+		dynChanged = true
+	}
+	if f.Controller != nil {
+		opt.Controller = *f.Controller
+	}
+	if f.Selection != nil {
+		opt.Selection = *f.Selection
+	}
+	if f.WorkloadIntensity != nil {
+		opt.WorkloadIntensity = *f.WorkloadIntensity
+	}
+	if f.CongestionScale != nil {
+		opt.CongestionScale = *f.CongestionScale
+	}
+	return dynChanged
+}
+
+// Applied returns base with the fork's scenario deltas applied — the
+// options the forked world actually runs. Resume performs the same
+// application internally; Applied lets callers (the campaign layer) label
+// fork results with their effective configuration.
+func (f *Fork) Applied(base Options) Options {
+	f.apply(&base)
+	return base
+}
+
+// forkSeed derives the seed a named fork's RNG stream restarts from: the
+// checkpointed stream position hashed with the fork name and the stream's
+// role label, so every fork gets a private, reproducible stream.
+func forkSeed(seed int64, count uint64, name, label string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%s", seed, count, name, label)
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// applyRNG positions a rebuilt world's RNG stream: an exact resume replays
+// the checkpointed draw count; a named fork reseeds from the derived fork
+// seed. The stream object is mutated in place so every pointer the built
+// world handed out (server configs, tracer configs, raters) stays valid.
+func applyRNG(r *detrand.Rand, seed int64, count uint64, forkName, label string) {
+	if forkName == "" {
+		r.Seed(seed)
+		r.Skip(count)
+		return
+	}
+	r.Seed(forkSeed(seed, count, forkName, label))
+}
+
+// persistTimer writes an armed simclock.Timer as (armed, at, seq);
+// restoreTimer re-arms it at the same slot so the restored event fires in
+// the exact order the original would have.
+func persistTimer(sw *snap.Writer, t simclock.Timer) {
+	if at, seq, ok := t.When(); ok {
+		sw.Bool(true)
+		sw.Dur(at)
+		sw.U64(seq)
+		return
+	}
+	sw.Bool(false)
+}
+
+func restoreTimer(sr *snap.Reader, c *simclock.Clock, h simclock.EventHandler) simclock.Timer {
+	if !sr.Bool() {
+		return simclock.Timer{}
+	}
+	at := sr.Dur()
+	seq := sr.U64()
+	if sr.Err() != nil {
+		return simclock.Timer{}
+	}
+	return c.Arm(at, seq, h)
+}
+
+// persistOptions writes every Options field. The encoding doubles as the
+// version stamp: the serialized bytes are hashed into the snapshot, so a
+// build whose Options shape changed fails the hash (or leaves trailing
+// bytes) instead of silently rebuilding a different world.
+func persistOptions(sw *snap.Writer, o Options) {
+	sw.Tag("options")
+	sw.I64(o.Seed)
+	sw.Int(o.MaxUsers)
+	sw.Int(o.ClipCap)
+	sw.Dur(o.PlayFor)
+	sw.Bool(o.DisableSureStream)
+	sw.Bool(o.DisableFEC)
+	sw.Dur(o.Preroll)
+	sw.Str(o.Controller)
+	sw.F64(o.CongestionScale)
+	sw.Str(o.Dynamics)
+	sw.F64(o.DynamicsIntensity)
+	sw.I64(o.DynamicsSeed)
+	sw.Str(o.Workload)
+	sw.F64(o.WorkloadIntensity)
+	sw.I64(o.WorkloadSeed)
+	sw.Int(o.Arrivals)
+	sw.Str(o.Selection)
+	sw.Int(o.Shards)
+	sw.Dur(o.StaggerWindow)
+	sw.F64(o.ServerUplinkKbps)
+}
+
+func restoreOptions(sr *snap.Reader) Options {
+	sr.Tag("options")
+	return Options{
+		Seed:              sr.I64(),
+		MaxUsers:          sr.Int(),
+		ClipCap:           sr.Int(),
+		PlayFor:           sr.Dur(),
+		DisableSureStream: sr.Bool(),
+		DisableFEC:        sr.Bool(),
+		Preroll:           sr.Dur(),
+		Controller:        sr.Str(),
+		CongestionScale:   sr.F64(),
+		Dynamics:          sr.Str(),
+		DynamicsIntensity: sr.F64(),
+		DynamicsSeed:      sr.I64(),
+		Workload:          sr.Str(),
+		WorkloadIntensity: sr.F64(),
+		WorkloadSeed:      sr.I64(),
+		Arrivals:          sr.Int(),
+		Selection:         sr.Str(),
+		Shards:            sr.Int(),
+		StaggerWindow:     sr.Dur(),
+		ServerUplinkKbps:  sr.F64(),
+	}
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// drainClosures steps the clock until no closure events remain pending.
+// The only closures a running world schedules are TCP dial timeouts and
+// retries, which the dial path cancels at establishment — so at any
+// instant the live closure count is the number of dials in flight, each
+// gone within a round-trip of stepping. The cap turns a leak into a loud
+// error instead of an unbounded fast-forward.
+func (w *World) drainClosures() error {
+	limit := w.Clock.Now() + drainCap
+	for w.Clock.PendingClosures() > 0 {
+		if w.Clock.Now() > limit || !w.Clock.Step() {
+			return fmt.Errorf("study: %d closure event(s) still pending after draining %v of virtual time; checkpoint aborted",
+				w.Clock.PendingClosures(), drainCap)
+		}
+	}
+	return nil
+}
+
+// Checkpoint serializes the world's full simulation state into out. The
+// world stays runnable afterwards — checkpointing mid-run and continuing
+// is exactly the warm-fork producer loop. Draining in-flight dial
+// closures may advance virtual time slightly (bounded by drainCap); the
+// snapshot captures the post-drain instant.
+//
+// Only the classic engine with the default collector sink is
+// checkpointable: sharded worlds spread their state across goroutines,
+// and a streaming sink has already let records go.
+func (w *World) Checkpoint(out io.Writer) error {
+	if w.fab != nil {
+		return fmt.Errorf("study: sharded worlds cannot be checkpointed")
+	}
+	if w.collector == nil {
+		return fmt.Errorf("study: checkpoint requires the default collector sink (SetSink disables checkpointing)")
+	}
+	if err := w.drainClosures(); err != nil {
+		return err
+	}
+	if err := w.Clock.CheckPersistable(); err != nil {
+		return err
+	}
+
+	sw := snap.NewWriter(out)
+	sw.Str(snapMagic)
+	var optBuf bytes.Buffer
+	persistOptions(snap.NewWriter(&optBuf), w.Options)
+	sw.Bytes(optBuf.Bytes())
+	sw.U64(hashBytes(optBuf.Bytes()))
+
+	sw.Tag("clock")
+	sw.Dur(w.Clock.Now())
+	sw.U64(w.Clock.Seq())
+	sw.U64(w.Clock.Fired())
+
+	if err := w.Net.Checkpoint(sw); err != nil {
+		return err
+	}
+
+	app := session.SnapCodec()
+	sw.Tag("servers")
+	sw.U32(uint32(len(w.Servers)))
+	for i, srv := range w.Servers {
+		seed, count := w.serverRNGs[i].State()
+		sw.I64(seed)
+		sw.U64(count)
+		w.serverStacks[i].Persist(sw)
+		if err := srv.Checkpoint(sw, app); err != nil {
+			return err
+		}
+	}
+
+	if w.open != nil {
+		sw.Bool(true)
+		if err := w.persistOpenLoop(sw, app); err != nil {
+			return err
+		}
+	} else {
+		sw.Bool(false)
+		if err := w.persistPanel(sw, app); err != nil {
+			return err
+		}
+	}
+
+	sw.Tag("records")
+	var recBuf bytes.Buffer
+	if err := trace.WriteJSON(&recBuf, w.collector.Records()); err != nil {
+		return err
+	}
+	sw.Bytes(recBuf.Bytes())
+
+	// Packets go last: their payloads may reference TCP conns serialized
+	// above, and the restore resolves those references against the conns
+	// it has already rebuilt.
+	if err := w.Net.CheckpointPackets(sw, transport.PayloadCodec(app, nil)); err != nil {
+		return err
+	}
+	sw.Tag("endsnap")
+	return sw.Err()
+}
+
+func (w *World) persistPanel(sw *snap.Writer, app transport.AppCodec) error {
+	sw.Tag("panel")
+	sw.Int(w.remaining)
+	sw.U32(uint32(len(w.Users)))
+	for i, u := range w.Users {
+		seed, count := w.userRNGs[i].State()
+		sw.I64(seed)
+		sw.U64(count)
+		st := w.stacks[u.Name]
+		if st == nil {
+			return fmt.Errorf("study: no tracked stack for panel user %s", u.Name)
+		}
+		st.Persist(sw)
+		persistTimer(sw, w.startTimers[i])
+		if err := w.tracers[i].PersistState(sw, app); err != nil {
+			return err
+		}
+	}
+	return sw.Err()
+}
+
+func (w *World) persistOpenLoop(sw *snap.Writer, app transport.AppCodec) error {
+	sw.Tag("openloop")
+	c := w.open.cells[0] // the classic open loop is a single cell
+	sw.Int(c.arrivalsLeft)
+	sw.Int(c.active)
+	sw.Int(c.sessions)
+	sw.Int(c.balked)
+	sw.Int(c.departed)
+	sw.Int(c.cursor)
+	seed, count := c.rng.State()
+	sw.I64(seed)
+	sw.U64(count)
+	cursor := 0
+	if sp, ok := c.policy.(interface{ PolicyState() int }); ok {
+		cursor = sp.PolicyState()
+	}
+	sw.Int(cursor)
+	persistTimer(sw, c.arrivalTimer)
+	sw.U32(uint32(len(c.bundles)))
+	for mi, b := range c.bundles {
+		sw.Bool(c.busy[mi])
+		if b == nil {
+			sw.Bool(false)
+			continue
+		}
+		sw.Bool(true)
+		seed, count := b.rng.State()
+		sw.I64(seed)
+		sw.U64(count)
+		st := w.stacks[w.Users[b.idx].Name]
+		if st == nil {
+			return fmt.Errorf("study: no tracked stack for template %s", w.Users[b.idx].Name)
+		}
+		st.Persist(sw)
+		sw.Bool(b.done)
+		sw.Bool(b.departed)
+		sw.I64(b.ordinal)
+		sw.U32(uint32(len(b.clips)))
+		for _, ci := range b.clips {
+			sw.Int(ci)
+		}
+		persistTimer(sw, b.departTimer)
+		if err := b.tr.PersistState(sw, app); err != nil {
+			return err
+		}
+	}
+	return sw.Err()
+}
+
+// Resume rebuilds a world from a snapshot written by Checkpoint and
+// positions it to continue exactly where the checkpoint left off; drive
+// it with Run (or RunUntil) as usual. fork selects between an exact
+// resume (nil, byte-identical to never stopping) and a named divergent
+// scenario; see Fork.
+func Resume(r io.Reader, fork *Fork) (*World, error) {
+	sr := snap.NewReader(r)
+	if magic := sr.Str(); magic != snapMagic {
+		if sr.Err() != nil {
+			return nil, fmt.Errorf("study: not a checkpoint: %w", sr.Err())
+		}
+		return nil, fmt.Errorf("study: checkpoint magic %q, want %q (snapshot from an incompatible build)", magic, snapMagic)
+	}
+	optBytes := sr.Bytes()
+	wantHash := sr.U64()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	if h := hashBytes(optBytes); h != wantHash {
+		return nil, fmt.Errorf("study: checkpoint options hash mismatch (got %x, want %x): snapshot corrupted or from an incompatible build", h, wantHash)
+	}
+	optReader := snap.NewReader(bytes.NewReader(optBytes))
+	opt := restoreOptions(optReader)
+	if err := optReader.Err(); err != nil {
+		return nil, fmt.Errorf("study: checkpoint options: %w", err)
+	}
+	if extra := optReader.U8(); optReader.Err() == nil {
+		return nil, fmt.Errorf("study: checkpoint options carry %d trailing byte(s) starting %#x: snapshot from an incompatible build", len(optBytes), extra)
+	}
+
+	dynChanged := fork.apply(&opt)
+	forkName := ""
+	if fork != nil {
+		forkName = fork.Name
+	}
+
+	// Deterministic rebuild: NewWorld replays exactly the build-time draws
+	// the original made, so the static world (hosts, libraries, playlist,
+	// route table) matches the snapshot and the overlay below only has to
+	// carry the dynamic state.
+	w, err := NewWorld(opt)
+	if err != nil {
+		return nil, err
+	}
+	if w.fab != nil {
+		return nil, fmt.Errorf("study: sharded worlds cannot be restored")
+	}
+
+	sr.Tag("clock")
+	now := sr.Dur()
+	seq := sr.U64()
+	fired := sr.U64()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	// Reset wipes every build-time event (panel start timers, the first
+	// arrival); each owner below re-arms its own events at their original
+	// slots.
+	w.Clock.Reset(now, seq, fired)
+
+	if err := w.Net.Restore(sr, !dynChanged); err != nil {
+		return nil, err
+	}
+	if forkName != "" {
+		dseed := opt.DynamicsSeed
+		if dseed == 0 {
+			dseed = opt.Seed + 4
+		}
+		w.Net.ReseedRNGs(forkSeed(opt.Seed+3, 0, forkName, "net"), forkSeed(dseed, 0, forkName, "dynamics"))
+	}
+
+	app := session.SnapCodec()
+	tbl := transport.NewConnTable()
+
+	sr.Tag("servers")
+	if n := int(sr.U32()); n != len(w.Servers) {
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		return nil, fmt.Errorf("study: checkpoint holds %d servers, world built %d", n, len(w.Servers))
+	}
+	for i, srv := range w.Servers {
+		seed := sr.I64()
+		count := sr.U64()
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		applyRNG(w.serverRNGs[i], seed, count, forkName, "server:"+w.ActiveSites[i].Host)
+		w.serverStacks[i].RestoreState(sr)
+		if err := srv.Restore(sr, w.serverStacks[i], app, tbl); err != nil {
+			return nil, err
+		}
+	}
+
+	if sr.Bool() {
+		if w.open == nil {
+			return nil, fmt.Errorf("study: open-loop checkpoint but the rebuilt world is a panel")
+		}
+		if err := w.restoreOpenLoop(sr, app, tbl, forkName); err != nil {
+			return nil, err
+		}
+	} else {
+		if w.open != nil {
+			return nil, fmt.Errorf("study: panel checkpoint but the rebuilt world is open-loop")
+		}
+		if err := w.restorePanel(sr, app, tbl, forkName); err != nil {
+			return nil, err
+		}
+	}
+
+	sr.Tag("records")
+	recs, err := trace.ReadJSON(bytes.NewReader(sr.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("study: checkpoint records: %w", err)
+	}
+	for _, rec := range recs {
+		w.collector.Observe(rec)
+	}
+
+	if err := w.Net.RestorePackets(sr, transport.PayloadCodec(app, tbl)); err != nil {
+		return nil, err
+	}
+	sr.Tag("endsnap")
+	return w, sr.Err()
+}
+
+func (w *World) restorePanel(sr *snap.Reader, app transport.AppCodec, tbl *transport.ConnTable, forkName string) error {
+	sr.Tag("panel")
+	w.remaining = sr.Int()
+	if n := int(sr.U32()); n != len(w.Users) {
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		return fmt.Errorf("study: checkpoint holds %d panel users, world built %d", n, len(w.Users))
+	}
+	for i, u := range w.Users {
+		seed := sr.I64()
+		count := sr.U64()
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		applyRNG(w.userRNGs[i], seed, count, forkName, "user:"+u.Name)
+		st := w.stacks[u.Name]
+		st.RestoreState(sr)
+		w.startTimers[i] = restoreTimer(sr, w.Clock, w.tracers[i])
+		if err := w.tracers[i].RestoreState(sr, st, app, tbl); err != nil {
+			return err
+		}
+	}
+	return sr.Err()
+}
+
+func (w *World) restoreOpenLoop(sr *snap.Reader, app transport.AppCodec, tbl *transport.ConnTable, forkName string) error {
+	sr.Tag("openloop")
+	c := w.open.cells[0]
+	c.arrivalsLeft = sr.Int()
+	c.active = sr.Int()
+	c.sessions = sr.Int()
+	c.balked = sr.Int()
+	c.departed = sr.Int()
+	c.cursor = sr.Int()
+	seed := sr.I64()
+	count := sr.U64()
+	if sr.Err() != nil {
+		return sr.Err()
+	}
+	applyRNG(c.rng, seed, count, forkName, "arrivals")
+	polCursor := sr.Int()
+	if sp, ok := c.policy.(interface{ SetPolicyState(int) }); ok {
+		sp.SetPolicyState(polCursor)
+	}
+	c.arrivalTimer = restoreTimer(sr, w.Clock, (*arriveArm)(c))
+	if n := int(sr.U32()); n != len(c.bundles) {
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		return fmt.Errorf("study: checkpoint holds %d templates, world built %d", n, len(c.bundles))
+	}
+	for mi := range c.bundles {
+		c.busy[mi] = sr.Bool()
+		if !sr.Bool() {
+			continue
+		}
+		bseed := sr.I64()
+		bcount := sr.U64()
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		b := c.newBundle(mi, bseed)
+		c.bundles[mi] = b
+		applyRNG(b.rng, bseed, bcount, forkName, "session:"+w.Users[b.idx].Name)
+		st := w.stacks[w.Users[b.idx].Name]
+		st.RestoreState(sr)
+		b.done = sr.Bool()
+		b.departed = sr.Bool()
+		b.ordinal = sr.I64()
+		nc := int(sr.U32())
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		b.clips = make([]int, nc)
+		for j := range b.clips {
+			b.clips[j] = sr.Int()
+		}
+		b.playlist = b.playlist[:0]
+		for _, ci := range b.clips {
+			if ci < 0 || ci >= len(w.Playlist) {
+				return fmt.Errorf("study: checkpoint clip index %d out of playlist range", ci)
+			}
+			b.playlist = append(b.playlist, w.Playlist[ci])
+		}
+		// Reset installs the playlist (and clears walk state) before the
+		// tracer overlay repositions the walk.
+		b.tr.Reset(b.playlist)
+		b.departTimer = restoreTimer(sr, w.Clock, (*departArm)(b))
+		if err := b.tr.RestoreState(sr, st, app, tbl); err != nil {
+			return err
+		}
+	}
+	return sr.Err()
+}

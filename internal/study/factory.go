@@ -100,9 +100,11 @@ func (f *SessionFactory) config(u *geo.User, rng *rand.Rand, playlist []tracer.E
 	selectServer func(tracer.Entry) tracer.Entry,
 	onRecord func(*trace.Record), onFinished func(), reuseRecord bool) tracer.Config {
 	rater := newRater(u, rng)
+	stack := transport.NewStack(f.net, u.Name)
+	f.w.trackStack(u.Name, stack)
 	return tracer.Config{
 		Clock:        vclock.Sim{C: f.clock},
-		Net:          session.SimNet{Stack: transport.NewStack(f.net, u.Name)},
+		Net:          session.SimNet{Stack: stack},
 		User:         u,
 		Playlist:     playlist,
 		PlayFor:      f.w.Options.PlayFor,

@@ -3,9 +3,9 @@ package study
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
+	"realtracer/internal/detrand"
 	"realtracer/internal/simclock"
 	"realtracer/internal/trace"
 	"realtracer/internal/tracer"
@@ -77,7 +77,13 @@ type arrivalCell struct {
 	// policies like round-robin advance per cell); nil = pinned, no
 	// per-clip selection step.
 	policy workload.Policy
-	rng    *rand.Rand
+	// rng is the cell's private arrival/plan stream. The counting source
+	// lets a checkpoint persist the stream position as (seed, draw count).
+	rng *detrand.Rand
+
+	// arrivalTimer is the armed next-arrival event, tracked so a restore
+	// can re-arm it at its original (time, seq) slot.
+	arrivalTimer simclock.Timer
 
 	arrivalsLeft int
 	active       int
@@ -183,7 +189,7 @@ func (w *World) startWorkload() error {
 		shard:        -1,
 		spec:         spec,
 		policy:       policyInstance(polName),
-		rng:          rand.New(rand.NewSource(seed)),
+		rng:          detrand.New(seed),
 		arrivalsLeft: w.Options.Arrivals,
 		members:      members,
 		busy:         make([]bool, pool),
@@ -209,8 +215,8 @@ func (c *arrivalCell) scheduleArrival() {
 		return
 	}
 	clk := c.clock()
-	gap := c.spec.NextGap(clk.Now(), c.rng)
-	clk.AfterHandler(gap, (*arriveArm)(c))
+	gap := c.spec.NextGap(clk.Now(), c.rng.Rand)
+	c.arrivalTimer = clk.AfterHandler(gap, (*arriveArm)(c))
 }
 
 // arrive admits one session: pick an idle member template (round-robin
@@ -249,7 +255,7 @@ type sessionBundle struct {
 	mi   int // index into cell.members/busy/bundles
 	idx  int // index into World.Users
 
-	rng      *rand.Rand
+	rng      *detrand.Rand
 	tr       *tracer.Tracer
 	clips    []int          // NextPlanInto scratch, holds the drawn plan
 	playlist []tracer.Entry // per-session playlist storage, reused
@@ -283,8 +289,8 @@ func (c *arrivalCell) newBundle(mi int, seed int64) *sessionBundle {
 	w := c.w
 	idx := c.members[mi]
 	u := w.Users[idx]
-	b := &sessionBundle{cell: c, mi: mi, idx: idx, rng: rand.New(rand.NewSource(seed))}
-	b.tr = w.factoryFor(c.shard).bundleTracer(u, b.rng, c.selectFor(u.Name), b.onRecord, b.finish)
+	b := &sessionBundle{cell: c, mi: mi, idx: idx, rng: detrand.New(seed)}
+	b.tr = w.factoryFor(c.shard).bundleTracer(u, b.rng.Rand, c.selectFor(u.Name), b.onRecord, b.finish)
 	return b
 }
 
@@ -313,13 +319,13 @@ func (c *arrivalCell) launchSession(mi int) {
 	b.done, b.departed = false, false
 	b.ordinal = int64(c.ord)<<32 | int64(c.sessions)
 
-	plan := c.spec.NextPlanInto(b.rng, len(w.Playlist), sessionClipCycle(w.Options), b.clips)
+	plan := c.spec.NextPlanInto(b.rng.Rand, len(w.Playlist), sessionClipCycle(w.Options), b.clips)
 	b.clips = plan.Clips // keep the grown scratch for the next arrival
 	b.playlist = b.playlist[:0]
 	for _, ci := range plan.Clips {
 		b.playlist = append(b.playlist, w.Playlist[ci])
 	}
-	w.factoryFor(c.shard).attach(u, b.rng)
+	w.factoryFor(c.shard).attach(u, b.rng.Rand)
 	b.tr.Reset(b.playlist)
 	b.departTimer = simclock.Timer{}
 	if plan.DepartAfter > 0 {

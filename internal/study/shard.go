@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"realtracer/internal/detrand"
 	"realtracer/internal/geo"
 	"realtracer/internal/netsim"
 	"realtracer/internal/server"
@@ -148,7 +149,7 @@ func (w *World) buildCells(spec workload.Spec, polName string, seed int64) []*ar
 			ord:          ci,
 			spec:         spec.Scaled(float64(len(members)) / float64(pool)),
 			policy:       policyInstance(polName),
-			rng:          rand.New(rand.NewSource(seed + 100003*int64(ci+1))),
+			rng:          detrand.New(seed + 100003*int64(ci+1)),
 			arrivalsLeft: budgets[ci],
 			members:      members,
 			busy:         make([]bool, len(members)),

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"realtracer/internal/detrand"
 	"realtracer/internal/geo"
 	"realtracer/internal/media"
 	"realtracer/internal/netsim"
@@ -64,6 +65,20 @@ type World struct {
 	remaining int
 	ran       bool
 
+	// Checkpoint wiring (checkpoint.go): the counting RNGs, transport
+	// stacks, tracers and start timers NewWorld creates, kept addressable
+	// so a snapshot can persist their positions and a restore can overlay
+	// them. Server slices align with Servers/ActiveSites; the panel slices
+	// align with Users. stacks maps a user host name to its template's
+	// transport stack (tracked only on the classic unsharded engine —
+	// sharded worlds are not checkpointable).
+	serverRNGs   []*detrand.Rand
+	serverStacks []*transport.Stack
+	userRNGs     []*detrand.Rand
+	tracers      []*tracer.Tracer
+	startTimers  []simclock.Timer
+	stacks       map[string]*transport.Stack
+
 	// Sharded-execution state (Options.Shards > 0): the fabric, one
 	// factory and one record sink per shard.
 	fab        *netsim.Fabric
@@ -120,6 +135,7 @@ func NewWorld(opt Options) (*World, error) {
 	w := &World{
 		Options: opt,
 		Sites:   geo.Sites(),
+		stacks:  make(map[string]*transport.Stack),
 	}
 	w.collector = &trace.Collector{}
 	w.sink = w.collector
@@ -254,11 +270,13 @@ func (w *World) startServers(plans []sitePlan) error {
 		if w.fab != nil {
 			shard = w.siteShard(ai)
 		}
+		drng := detrand.New(p.seed)
+		stack := transport.NewStack(w.netFor(shard), p.site.Host)
 		srv := server.New(server.Config{
 			Clock:          vclock.Sim{C: w.clockFor(shard)},
-			Net:            session.SimNet{Stack: transport.NewStack(w.netFor(shard), p.site.Host)},
+			Net:            session.SimNet{Stack: stack},
 			Library:        lib,
-			Rand:           rand.New(rand.NewSource(p.seed)),
+			Rand:           drng.Rand,
 			Unavailability: p.site.Unavailability,
 			SureStream:     !opt.DisableSureStream,
 			FEC:            !opt.DisableFEC,
@@ -269,6 +287,8 @@ func (w *World) startServers(plans []sitePlan) error {
 		}
 		w.Servers = append(w.Servers, srv)
 		w.ActiveSites = append(w.ActiveSites, p.site)
+		w.serverRNGs = append(w.serverRNGs, drng)
+		w.serverStacks = append(w.serverStacks, stack)
 	}
 	return nil
 }
@@ -282,18 +302,49 @@ func (w *World) launchUsers(masterRNG *rand.Rand) {
 	opt := w.Options
 	w.remaining = len(w.Users)
 	for _, u := range w.Users {
-		userRNG := rand.New(rand.NewSource(masterRNG.Int63()))
-		w.factory.attach(u, userRNG)
+		userRNG := detrand.New(masterRNG.Int63())
+		w.factory.attach(u, userRNG.Rand)
 		n := u.ClipsToPlay
 		if opt.ClipCap > 0 && n > opt.ClipCap {
 			n = opt.ClipCap
 		}
-		tr := w.factory.newTracer(u, userRNG, w.Playlist[:n], nil,
+		tr := w.factory.newTracer(u, userRNG.Rand, w.Playlist[:n], nil,
 			w.factory.observe,
 			func() { w.remaining-- })
 		start := time.Duration(userRNG.Int63n(int64(opt.StaggerWindow)))
-		w.Clock.At(start, tr.Run)
+		// The start event is a pooled handler (the Tracer itself), not a
+		// closure, so a checkpoint taken before the user starts can carry it.
+		w.userRNGs = append(w.userRNGs, userRNG)
+		w.tracers = append(w.tracers, tr)
+		w.startTimers = append(w.startTimers, w.Clock.AtHandler(start, tr))
 	}
+}
+
+// trackStack records a user template's transport stack for checkpointing.
+// Sharded factories build stacks concurrently on shard goroutines — and a
+// sharded world is not checkpointable anyway — so only the classic engine
+// tracks them.
+func (w *World) trackStack(name string, st *transport.Stack) {
+	if w.fab != nil || w.stacks == nil {
+		return
+	}
+	w.stacks[name] = st
+}
+
+// RunUntil drives the world's clock to virtual time t without completing
+// the run — the warm-up phase of a checkpoint/fork sweep. It may be called
+// repeatedly with increasing t; Run then continues from wherever the
+// warm-up stopped. Sharded worlds advance under the fabric's barrier
+// protocol and cannot be partially driven.
+func (w *World) RunUntil(t time.Duration) error {
+	if w.fab != nil {
+		return fmt.Errorf("study: RunUntil is not supported on a sharded world")
+	}
+	if w.ran {
+		return fmt.Errorf("study: world already run")
+	}
+	w.Clock.RunUntil(t)
+	return nil
 }
 
 // SetSink redirects the world's record stream into s: each record is

@@ -1,0 +1,98 @@
+package tracer
+
+import (
+	"realtracer/internal/geo"
+	"realtracer/internal/player"
+	"realtracer/internal/rdt"
+	"realtracer/internal/simclock"
+	"realtracer/internal/snap"
+	"realtracer/internal/transport"
+	"realtracer/internal/vclock"
+)
+
+// Two event kinds belong to the tracer: the not-yet-started session (the
+// world arms the Tracer itself at its start instant) and the inter-clip
+// think-time pause.
+func init() {
+	simclock.RegisterEventKind("tracer.run", (*Tracer)(nil))
+	simclock.RegisterEventKind("tracer.pause", (*tracerArm)(nil))
+}
+
+// PersistState writes the tracer's session progress. The playlist, user and
+// hooks are template state the world rebuilds deterministically from its
+// Options; only the walk position, the in-flight clip's identity (which
+// SelectServer may have re-homed) and the player engine persist.
+func (t *Tracer) PersistState(sw *snap.Writer, app transport.AppCodec) error {
+	sw.Tag("tracer")
+	sw.Int(t.idx)
+	sw.Int(t.played)
+	sw.Int(t.rated)
+	sw.Bool(t.stopped)
+	sw.Int(t.ai)
+	persistEntry(sw, t.curEntry)
+	sw.Dur(t.curStarted)
+	t.pause.Persist(sw)
+	sw.Bool(t.pl != nil)
+	if t.pl != nil {
+		return t.pl.PersistState(sw, app)
+	}
+	return sw.Err()
+}
+
+// RestoreState overlays a checkpointed walk onto a template-built Tracer
+// (fresh from New with the same Config the original had). The arenas restore
+// empty: checkpointed packets and frames are carried by value elsewhere, so
+// arena cells hold no restored state and refill as the session proceeds.
+func (t *Tracer) RestoreState(sr *snap.Reader, stack *transport.Stack, app transport.AppCodec, tbl *transport.ConnTable) error {
+	sr.Tag("tracer")
+	t.idx = sr.Int()
+	t.played = sr.Int()
+	t.rated = sr.Int()
+	t.stopped = sr.Bool()
+	t.ai = sr.Int()
+	t.curEntry = restoreEntry(sr)
+	t.curStarted = sr.Dur()
+	t.pause = vclock.RestoreHandle(sr, t.cfg.Clock, (*tracerArm)(t))
+	if !sr.Bool() {
+		return sr.Err()
+	}
+	if t.arenas[t.ai] == nil {
+		t.arenas[t.ai] = &rdt.Arena{}
+	}
+	owner := player.Config{
+		Clock:  t.cfg.Clock,
+		Net:    t.cfg.Net,
+		CPU:    player.PCClasses()[t.cfg.User.PCClass],
+		Rand:   t.cfg.Rand,
+		Arena:  t.arenas[t.ai],
+		OnDone: t.onDone,
+	}
+	t.pl = player.New(owner)
+	return t.pl.RestoreState(sr, owner, stack, app, tbl)
+}
+
+func persistEntry(sw *snap.Writer, e Entry) {
+	sw.Str(e.URL)
+	sw.Str(e.ControlAddr)
+	sw.Str(e.Site.Name)
+	sw.Str(e.Site.Host)
+	sw.Str(e.Site.Country)
+	sw.Int(int(e.Site.Region))
+	sw.F64(e.Site.Unavailability)
+	sw.Int(e.Site.Clips)
+}
+
+func restoreEntry(sr *snap.Reader) Entry {
+	return Entry{
+		URL:         sr.Str(),
+		ControlAddr: sr.Str(),
+		Site: geo.ServerSite{
+			Name:           sr.Str(),
+			Host:           sr.Str(),
+			Country:        sr.Str(),
+			Region:         geo.Region(sr.Int()),
+			Unavailability: sr.F64(),
+			Clips:          sr.Int(),
+		},
+	}
+}

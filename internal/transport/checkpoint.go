@@ -1,0 +1,473 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"realtracer/internal/netsim"
+	"realtracer/internal/simclock"
+	"realtracer/internal/snap"
+)
+
+// Checkpoint/restore for the simulated transports. Two things make this
+// layer subtle:
+//
+//   - A *tcpSeg on the wire is usually the SAME object as the entry in the
+//     sender's inflight set (or, after a timeout requeue, its send queue).
+//     Retransmits mutate ts/rexmit on that shared object, and the mutation
+//     is visible to copies already in flight — the reference behavior a
+//     restore must reproduce. Wire segments still owned by a live conn are
+//     therefore serialized as references (conn local address + seq) and
+//     resolved against the restored conn's own segment; only orphaned
+//     segments (handshakes, closed conns) serialize by value.
+//
+//   - The RTO timer's handler is the conn itself (pooled event discipline),
+//     so each conn persists its timer as (At, seq) and re-arms it with the
+//     original sequence number on restore.
+//
+// Application payloads nested in segments and datagrams are opaque here; the
+// session layer supplies the AppCodec.
+
+func init() {
+	simclock.RegisterEventKind("transport.tcp-rto", &simTCP{})
+}
+
+// AppCodec serializes the application payloads carried inside transport
+// frames (RTSP messages, RDT packets, data hellos). nil payloads are handled
+// by the transport layer before the codec is consulted.
+type AppCodec struct {
+	Encode func(*snap.Writer, any) error
+	Decode func(*snap.Reader) (any, error)
+}
+
+// ConnTable indexes restored simulated TCP conns by local address so wire
+// segment references can resolve to the owning conn's live segment. One
+// table per world restore; every RestoreConn registers into it.
+type ConnTable struct {
+	m map[netsim.Addr]*simTCP
+}
+
+// NewConnTable returns an empty table.
+func NewConnTable() *ConnTable { return &ConnTable{m: make(map[netsim.Addr]*simTCP)} }
+
+// Payload type tags in the snapshot.
+const (
+	payNil    = 0
+	paySeg    = 1
+	payAck    = 2
+	payApp    = 3
+	paySegRef = 4
+)
+
+// PayloadCodec returns the netsim payload codec for this world's in-flight
+// packets: transport frames are handled here, anything else delegates to
+// app. tbl must be the table the world's conns were (or will be) restored
+// into.
+func PayloadCodec(app AppCodec, tbl *ConnTable) netsim.PayloadCodec {
+	return netsim.PayloadCodec{
+		Encode: func(sw *snap.Writer, payload any) error {
+			switch m := payload.(type) {
+			case nil:
+				sw.U8(payNil)
+			case *tcpSeg:
+				// Reference only segments a live conn still owns: an open
+				// sender may mutate its inflight seg while a wire copy is
+				// mid-hop, so the copy must restore as the same object. A
+				// closed conn (torn-down session — possibly absent from the
+				// snapshot entirely) never mutates again; its wire copies
+				// serialize by value.
+				if c := m.conn; c != nil && !c.closed && c.ownsSeg(m) {
+					sw.U8(paySegRef)
+					sw.Str(string(c.laddr))
+					sw.U64(m.seq)
+					return sw.Err()
+				}
+				sw.U8(paySeg)
+				return persistSeg(sw, m, app)
+			case *tcpAck:
+				sw.U8(payAck)
+				sw.U64(m.cumAck)
+				sw.Dur(m.ts)
+				sw.Bool(m.echoOK)
+			default:
+				sw.U8(payApp)
+				return app.Encode(sw, payload)
+			}
+			return sw.Err()
+		},
+		Decode: func(sr *snap.Reader) (any, error) {
+			switch tag := sr.U8(); tag {
+			case payNil:
+				return nil, sr.Err()
+			case paySegRef:
+				laddr := netsim.Addr(sr.Str())
+				seq := sr.U64()
+				if sr.Err() != nil {
+					return nil, sr.Err()
+				}
+				c := tbl.m[laddr]
+				if c == nil {
+					return nil, fmt.Errorf("transport: wire segment references unknown conn %s", laddr)
+				}
+				seg := c.findSeg(seq)
+				if seg == nil {
+					return nil, fmt.Errorf("transport: wire segment references conn %s seq %d, which holds no such segment", laddr, seq)
+				}
+				return seg, nil
+			case paySeg:
+				return restoreSeg(sr, nil, app)
+			case payAck:
+				a := &tcpAck{}
+				a.cumAck = sr.U64()
+				a.ts = sr.Dur()
+				a.echoOK = sr.Bool()
+				return a, sr.Err()
+			case payApp:
+				return app.Decode(sr)
+			default:
+				return nil, fmt.Errorf("transport: unknown payload tag %d", tag)
+			}
+		},
+	}
+}
+
+// ownsSeg reports whether seg is live sender-side state of c: in the
+// inflight set or the unconsumed region of the send queue. Wire copies of
+// owned segments serialize by reference to preserve shared-mutation
+// semantics.
+func (c *simTCP) ownsSeg(seg *tcpSeg) bool {
+	if s, ok := c.inflight[seg.seq]; ok && s == seg {
+		return true
+	}
+	for _, s := range c.queue[c.qhead:] {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// findSeg is ownsSeg's restore-side mirror: resolve a (conn, seq) reference
+// to the conn's live segment.
+func (c *simTCP) findSeg(seq uint64) *tcpSeg {
+	if s, ok := c.inflight[seq]; ok {
+		return s
+	}
+	for _, s := range c.queue[c.qhead:] {
+		if s.seq == seq && !s.syn && !s.synAck && !s.fin {
+			return s
+		}
+	}
+	return nil
+}
+
+// persistSeg writes one segment by value.
+func persistSeg(sw *snap.Writer, seg *tcpSeg, app AppCodec) error {
+	var flags uint8
+	if seg.syn {
+		flags |= 1
+	}
+	if seg.synAck {
+		flags |= 2
+	}
+	if seg.fin {
+		flags |= 4
+	}
+	if seg.rexmit {
+		flags |= 8
+	}
+	sw.U8(flags)
+	sw.U64(seg.seq)
+	sw.Int(seg.size)
+	sw.Dur(seg.ts)
+	if seg.payload == nil {
+		sw.Bool(false)
+		return sw.Err()
+	}
+	sw.Bool(true)
+	return app.Encode(sw, seg.payload)
+}
+
+// restoreSeg reads one segment written by persistSeg. When c is non-nil the
+// segment is carved from its slab and back-pointed to it; a nil c yields a
+// free-standing segment (an orphaned wire copy).
+func restoreSeg(sr *snap.Reader, c *simTCP, app AppCodec) (*tcpSeg, error) {
+	var seg *tcpSeg
+	if c != nil {
+		seg = c.newSeg()
+		seg.conn = c
+	} else {
+		seg = &tcpSeg{}
+	}
+	flags := sr.U8()
+	seg.syn = flags&1 != 0
+	seg.synAck = flags&2 != 0
+	seg.fin = flags&4 != 0
+	seg.rexmit = flags&8 != 0
+	seg.seq = sr.U64()
+	seg.size = sr.Int()
+	seg.ts = sr.Dur()
+	if sr.Bool() {
+		payload, err := app.Decode(sr)
+		if err != nil {
+			return nil, err
+		}
+		seg.payload = payload
+	}
+	return seg, sr.Err()
+}
+
+// Persist writes the stack's own state (the ephemeral port cursor). The ACK
+// free-list is a pure allocation cache and is not persisted.
+func (s *Stack) Persist(sw *snap.Writer) {
+	sw.Tag("stack")
+	sw.Int(s.next)
+}
+
+// RestoreState overlays persisted stack state.
+func (s *Stack) RestoreState(sr *snap.Reader) {
+	sr.Tag("stack")
+	s.next = sr.Int()
+}
+
+// RestoreAccepted re-seeds a listener's SYN-dedup map with a restored
+// server-side conn: a duplicate SYN still in flight from before the
+// checkpoint must find the existing conn, exactly as it would have in the
+// straight-through run. port is the listening port the conn was accepted on;
+// c must be a conn produced by RestoreConn.
+func (s *Stack) RestoreAccepted(port int, c Conn) error {
+	tc, ok := c.(*simTCP)
+	if !ok {
+		return fmt.Errorf("transport: RestoreAccepted with %T", c)
+	}
+	l := s.listeners[port]
+	if l == nil {
+		return fmt.Errorf("transport: RestoreAccepted on port %d with no listener", port)
+	}
+	l.seen[tc.raddr] = tc
+	return nil
+}
+
+// ConnClosed reports whether a simulated conn has been closed (locally or by
+// a received FIN). Owners use it to prune dead conns from their checkpoint
+// walks; unknown conn types report open.
+func ConnClosed(c Conn) bool {
+	switch m := c.(type) {
+	case *simTCP:
+		return m.closed
+	case *simUDP:
+		return m.closed
+	default:
+		return false
+	}
+}
+
+// Conn type tags.
+const (
+	connTCP = 1
+	connUDP = 2
+)
+
+// PersistConn writes a simulated conn owned by a session or player. Supported
+// types: *simTCP (TCP control/data conns) and *simUDP (client-side connected
+// UDP). Server-side UDP conn views (UDPPort.ConnFor) carry no state and are
+// rebuilt by their owner instead.
+func PersistConn(sw *snap.Writer, c Conn, app AppCodec) error {
+	switch m := c.(type) {
+	case *simTCP:
+		sw.U8(connTCP)
+		return m.persist(sw, app)
+	case *simUDP:
+		sw.U8(connUDP)
+		sw.Str(string(m.laddr))
+		sw.Str(string(m.raddr))
+		sw.Bool(m.closed)
+		return sw.Err()
+	default:
+		return fmt.Errorf("transport: cannot persist conn type %T", c)
+	}
+}
+
+// RestoreConn reads a conn written by PersistConn, re-registering it with
+// the network and (for TCP) into tbl. The owner re-installs its receiver
+// afterwards, exactly as it did when the conn was first created.
+func RestoreConn(sr *snap.Reader, s *Stack, app AppCodec, tbl *ConnTable) (Conn, error) {
+	switch tag := sr.U8(); tag {
+	case connTCP:
+		return restoreSimTCP(sr, s, app, tbl)
+	case connUDP:
+		laddr := netsim.Addr(sr.Str())
+		raddr := netsim.Addr(sr.Str())
+		closed := sr.Bool()
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		if closed {
+			// Closed at checkpoint time: already unregistered in the live
+			// run, and the host may be detached (a departed client) — build
+			// the dead shell without touching the network.
+			c := &simUDP{stack: s, laddr: laddr, raddr: raddr, raddrID: s.net.Intern(raddr.Host()), closed: true}
+			c.lport, c.rport = laddr.Port(), raddr.Port()
+			return c, nil
+		}
+		return s.newSimUDP(laddr, raddr), nil
+	default:
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		return nil, fmt.Errorf("transport: unknown conn tag %d", tag)
+	}
+}
+
+// persist writes the full simTCP state.
+func (c *simTCP) persist(sw *snap.Writer, app AppCodec) error {
+	sw.Tag("tcp")
+	sw.Str(string(c.laddr))
+	sw.Str(string(c.raddr))
+	sw.Bool(c.established)
+	sw.Bool(c.closed)
+
+	sw.U64(c.nextSeq)
+	sw.U64(c.sendBase)
+	sw.F64(c.cwnd)
+	sw.F64(c.ssthresh)
+	sw.Int(c.dupAcks)
+	sw.U64(c.lastAck)
+	sw.Dur(c.srtt)
+	sw.Dur(c.rttvar)
+	sw.Dur(c.rto)
+	if at, seq, ok := c.rtoTimer.When(); ok {
+		sw.Bool(true)
+		sw.Dur(at)
+		sw.U64(seq)
+	} else {
+		sw.Bool(false)
+	}
+	sw.U64(c.rcvNext)
+
+	live := c.queue[c.qhead:]
+	sw.U32(uint32(len(live)))
+	for _, seg := range live {
+		if err := persistSeg(sw, seg, app); err != nil {
+			return err
+		}
+	}
+	if err := persistSegMap(sw, c.inflight, app); err != nil {
+		return err
+	}
+	if err := persistSegMap(sw, c.reorder, app); err != nil {
+		return err
+	}
+
+	sw.U64(c.retransmits)
+	sw.U64(c.fastRexmits)
+	sw.U64(c.timeouts)
+	sw.U64(c.segsSent)
+	sw.U64(c.segsDelivered)
+	sw.Int(c.consecutiveRTOs)
+	return sw.Err()
+}
+
+// persistSegMap writes a seq-keyed segment map in seq order.
+func persistSegMap(sw *snap.Writer, m map[uint64]*tcpSeg, app AppCodec) error {
+	seqs := make([]uint64, 0, len(m))
+	for seq := range m {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	sw.U32(uint32(len(seqs)))
+	for _, seq := range seqs {
+		sw.U64(seq)
+		if err := persistSeg(sw, m[seq], app); err != nil {
+			return err
+		}
+	}
+	return sw.Err()
+}
+
+func restoreSegMap(sr *snap.Reader, c *simTCP, app AppCodec) (map[uint64]*tcpSeg, error) {
+	n := int(sr.U32())
+	m := make(map[uint64]*tcpSeg)
+	for i := 0; i < n; i++ {
+		seq := sr.U64()
+		seg, err := restoreSeg(sr, c, app)
+		if err != nil {
+			return nil, err
+		}
+		m[seq] = seg
+	}
+	return m, sr.Err()
+}
+
+func restoreSimTCP(sr *snap.Reader, s *Stack, app AppCodec, tbl *ConnTable) (*simTCP, error) {
+	sr.Tag("tcp")
+	laddr := netsim.Addr(sr.Str())
+	raddr := netsim.Addr(sr.Str())
+	established := sr.Bool()
+	closed := sr.Bool()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	// A conn closed at checkpoint time was already unregistered from the
+	// network — and for a departed open-loop client the host itself is
+	// gone — so only open conns re-register their packet handler.
+	c := newSimTCPConn(s, laddr, raddr)
+	if !closed {
+		s.net.Register(laddr, c.onPacket)
+	}
+	c.established = established
+	c.closed = closed
+
+	c.nextSeq = sr.U64()
+	c.sendBase = sr.U64()
+	c.cwnd = sr.F64()
+	c.ssthresh = sr.F64()
+	c.dupAcks = sr.Int()
+	c.lastAck = sr.U64()
+	c.srtt = sr.Dur()
+	c.rttvar = sr.Dur()
+	c.rto = sr.Dur()
+	rtoArmed := sr.Bool()
+	var rtoAt time.Duration
+	var rtoSeq uint64
+	if rtoArmed {
+		rtoAt = sr.Dur()
+		rtoSeq = sr.U64()
+	}
+	c.rcvNext = sr.U64()
+
+	nq := int(sr.U32())
+	for i := 0; i < nq; i++ {
+		seg, err := restoreSeg(sr, c, app)
+		if err != nil {
+			return nil, err
+		}
+		c.queue = append(c.queue, seg)
+	}
+	var err error
+	if c.inflight, err = restoreSegMap(sr, c, app); err != nil {
+		return nil, err
+	}
+	if c.reorder, err = restoreSegMap(sr, c, app); err != nil {
+		return nil, err
+	}
+
+	c.retransmits = sr.U64()
+	c.fastRexmits = sr.U64()
+	c.timeouts = sr.U64()
+	c.segsSent = sr.U64()
+	c.segsDelivered = sr.U64()
+	c.consecutiveRTOs = sr.Int()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+
+	if rtoArmed {
+		c.rtoTimer = s.clock.Arm(rtoAt, rtoSeq, c)
+	}
+	// Closed conns enter the table too: an in-flight packet snapshotted
+	// mid-hop may still reference a just-closed conn's segment storage.
+	tbl.m[c.laddr] = c
+	return c, nil
+}

@@ -78,7 +78,17 @@ type simTCP struct {
 const maxConsecutiveRTOs = 8
 
 func newSimTCP(s *Stack, laddr, raddr netsim.Addr) *simTCP {
-	c := &simTCP{
+	c := newSimTCPConn(s, laddr, raddr)
+	s.net.Register(laddr, c.onPacket)
+	return c
+}
+
+// newSimTCPConn builds the conn without registering its packet handler.
+// The restore path uses it directly for conns that were closed at
+// checkpoint time: a closed conn was already unregistered in the live run,
+// and its host may be detached entirely (a departed open-loop client).
+func newSimTCPConn(s *Stack, laddr, raddr netsim.Addr) *simTCP {
+	return &simTCP{
 		stack:    s,
 		laddr:    laddr,
 		raddr:    raddr,
@@ -91,8 +101,6 @@ func newSimTCP(s *Stack, laddr, raddr netsim.Addr) *simTCP {
 		ssthresh: 64,
 		rto:      initialRTO,
 	}
-	s.net.Register(laddr, c.onPacket)
-	return c
 }
 
 // Conn interface.

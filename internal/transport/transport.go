@@ -90,11 +90,22 @@ type Stack struct {
 	hostID  netsim.HostID
 	next    int       // next ephemeral port
 	ackFree []*tcpAck // recycled ACKs (released after the peer consumes them)
+	// listeners tracks live TCP listeners by port so a world restore can
+	// re-seed their SYN-dedup maps with the accepted conns (checkpoint.go).
+	listeners map[int]*tcpListener
+}
+
+// tcpListener is the per-port accept state: the SYN-dedup map that makes a
+// retried SYN from the same client reuse the existing conn instead of
+// forking a fresh server-side session.
+type tcpListener struct {
+	seen map[netsim.Addr]*simTCP
 }
 
 // NewStack binds a stack to a host previously added to the network.
 func NewStack(n *netsim.Network, host string) *Stack {
-	return &Stack{net: n, clock: n.Clock, host: host, hostID: n.Intern(host), next: 10000}
+	return &Stack{net: n, clock: n.Clock, host: host, hostID: n.Intern(host), next: 10000,
+		listeners: make(map[int]*tcpListener)}
 }
 
 // ackFreeMax bounds a stack's ACK free-list; anything beyond it goes to the
@@ -181,7 +192,9 @@ func (s *Stack) Listen(port int, accept func(Conn)) (stop func()) {
 	laddr := s.addr(port)
 	// Retried SYNs from the same client must reuse the existing conn, or
 	// each retry would fork a fresh server-side session.
-	seen := make(map[netsim.Addr]*simTCP)
+	l := &tcpListener{seen: make(map[netsim.Addr]*simTCP)}
+	s.listeners[port] = l
+	seen := l.seen
 	s.net.Register(laddr, func(pkt *netsim.Packet) {
 		// The listener consumes everything it receives synchronously, so a
 		// shard-transit copy can be recycled on every exit (a no-op for
@@ -203,7 +216,10 @@ func (s *Stack) Listen(port int, accept func(Conn)) (stop func()) {
 		accept(c)
 		c.sendSynAck()
 	})
-	return func() { s.net.Unregister(laddr) }
+	return func() {
+		delete(s.listeners, port)
+		s.net.Unregister(laddr)
+	}
 }
 
 // DialTCP opens a connection to raddr. cb receives the Conn once the
@@ -264,8 +280,13 @@ func (s *Stack) ListenUDP(port int, recv func(from string, payload any, size int
 // DialUDP returns a connected UDP Conn bound to an ephemeral local port.
 // There is no handshake; the conn is usable immediately.
 func (s *Stack) DialUDP(raddr string) Conn {
-	ra := netsim.Addr(raddr)
-	c := &simUDP{stack: s, laddr: s.ephemeral(), raddr: ra, raddrID: s.net.Intern(ra.Host())}
+	return s.newSimUDP(s.ephemeral(), netsim.Addr(raddr))
+}
+
+// newSimUDP builds a connected UDP conn on an explicit local address — the
+// shared path of DialUDP and conn restore.
+func (s *Stack) newSimUDP(laddr, ra netsim.Addr) *simUDP {
+	c := &simUDP{stack: s, laddr: laddr, raddr: ra, raddrID: s.net.Intern(ra.Host())}
 	c.lport, c.rport = c.laddr.Port(), ra.Port()
 	s.net.Register(c.laddr, func(pkt *netsim.Packet) {
 		// Same synchronous-consumption contract as ListenUDP: recycle the

@@ -84,6 +84,13 @@ func (p *RoundRobin) Pick(user string, cands []Candidate) int {
 	return i
 }
 
+// PolicyState exposes the rotation cursor so a world checkpoint can carry
+// it; SetPolicyState restores it. RoundRobin is the only stateful policy.
+func (p *RoundRobin) PolicyState() int { return p.next }
+
+// SetPolicyState restores a checkpointed rotation cursor.
+func (p *RoundRobin) SetPolicyState(n int) { p.next = n }
+
 // LeastLoaded picks the server with the fewest active sessions, breaking
 // ties by lower RTT and then site order — the load-probe policy.
 type LeastLoaded struct{}
